@@ -1,0 +1,83 @@
+"""§7 extension — scan-time cleaning policy overhead.
+
+Measures query throughput over a dirtied Patients CSV under each cleaning
+policy, against the clean-file baseline. Expected shape: skip/null repair
+costs are proportional to the dirty fraction (the fast path is untouched);
+dictionary validation pays on every row (it must see all values).
+"""
+
+import random
+import time
+
+from repro.bench import emit, table
+from repro.cleaning import DictionaryPolicy, NullPolicy, SkipPolicy
+from repro.core.session import ViDa
+from repro.formats import write_csv
+
+_CITIES = ["geneva", "lausanne", "zurich", "bern"]
+
+
+def _make_files(tmp_path, rows=4000, dirty_fraction=0.05):
+    rng = random.Random(3)
+    clean_rows = []
+    dirty_rows = []
+    for i in range(rows):
+        age = rng.randint(18, 90)
+        city = rng.choice(_CITIES)
+        protein = round(rng.uniform(30, 80), 2)
+        clean_rows.append((i, age, city, protein))
+        if rng.random() < dirty_fraction:
+            dirty_rows.append((i, f"x{age}x", city, protein))
+        else:
+            dirty_rows.append((i, age, city, protein))
+    cols = ["id", "age", "city", "protein"]
+    clean_path = tmp_path / "clean.csv"
+    dirty_path = tmp_path / "dirty.csv"
+    write_csv(clean_path, cols, clean_rows)
+    write_csv(dirty_path, cols, dirty_rows)
+    return str(clean_path), str(dirty_path)
+
+
+def _time_scan(path, policy) -> tuple[float, int]:
+    db = ViDa(enable_cache=False)
+    db.register_csv("T", path, columns=["id", "age", "city", "protein"],
+                    types=["int", "int", "string", "float"])
+    if policy is not None:
+        db.set_cleaning("T", policy)
+    t0 = time.perf_counter()
+    result = db.query("for { t <- T, t.age > 40 } yield avg t.protein")
+    return time.perf_counter() - t0, result.stats.skipped_rows
+
+
+def test_cleaning_policy_overhead(benchmark, tmp_path):
+    clean_path, dirty_path = _make_files(tmp_path)
+
+    def run():
+        out = {}
+        out["clean file, no policy"] = _time_scan(clean_path, None)
+        out["dirty file, skip"] = _time_scan(dirty_path, SkipPolicy())
+        out["dirty file, null"] = _time_scan(dirty_path, NullPolicy())
+        out["dirty file, dictionary"] = _time_scan(
+            dirty_path,
+            DictionaryPolicy(dictionaries={"city": _CITIES},
+                             ranges={"age": (0, 110)}, fallback_skip=False),
+        )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    base = results["clean file, no policy"][0]
+    rows = []
+    for name, (seconds, skipped) in results.items():
+        rows.append([name, f"{seconds * 1e3:.1f}", f"{seconds / base:.2f}x",
+                     skipped])
+    lines = table(["configuration", "scan (ms)", "vs clean", "rows skipped"],
+                  rows)
+    lines.append("")
+    lines.append("skip/null only pay on the ~5% dirty rows; dictionary")
+    lines.append("validation inspects every row (validate_always).")
+    emit("§7 — cleaning policy overhead", lines)
+
+    assert results["dirty file, skip"][1] > 0
+    assert results["dirty file, skip"][0] < results["dirty file, dictionary"][0], \
+        "exception-path repair must be cheaper than always-validate"

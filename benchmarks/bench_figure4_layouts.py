@@ -1,0 +1,83 @@
+"""Figure 4 (as an ablation) — layouts for tuples carrying a JSON object.
+
+The paper's Figure 4 shows four layouts the optimizer chooses between for a
+tuple ⟨int, JSON-object⟩: (a) JSON text, (b) binary JSON (BSON), (c) parsed
+object, (d) only start/end byte positions. This benchmark measures, for the
+BrainRegions objects: materialisation cost, downstream field-access cost,
+memory footprint, and (for positions) the deferred re-assembly cost.
+
+Expected shape: positions are by far the cheapest to build and carry
+(pollution avoidance, §5) but pay at projection time; objects are the most
+expensive to hold but cheapest to access repeatedly; BSON sits between text
+and objects for access, beating text in compactness of *navigation*.
+"""
+
+import time
+
+from repro.bench import emit, table
+from repro.caching import materialize
+from repro.formats.jsonfmt import JSONSource, get_path
+
+
+def test_figure4_layout_tradeoffs(benchmark, hbp):
+    datasets, _queries = hbp
+    source = JSONSource(datasets.brain_json)
+    objects = list(source.scan_objects())
+    spans = [(s.start, s.end) for s in source.scan_positions()]
+
+    results = {}
+
+    def measure(layout: str, rows):
+        t0 = time.perf_counter()
+        cached = materialize(layout, [], rows)
+        build_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        if layout == "positions":
+            access_s = None  # cannot project from spans directly
+        else:
+            total = 0.0
+            for (vol,) in cached.iter_rows(["volume_total"]):
+                total += vol or 0.0
+            access_s = time.perf_counter() - t0
+        return cached, build_s, access_s
+
+    def run_all():
+        for layout, rows in (
+            ("json_text", objects),
+            ("bson", objects),
+            ("objects", objects),
+            ("positions", spans),
+        ):
+            results[layout] = measure(layout, rows)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # deferred assembly cost for the positions layout (10% survivors)
+    survivors = [s for i, s in enumerate(source.scan_positions())
+                 if i % 10 == 0]
+    t0 = time.perf_counter()
+    assembled = source.assemble(survivors)
+    assemble_s = time.perf_counter() - t0
+
+    rows = []
+    for layout in ("json_text", "bson", "objects", "positions"):
+        cached, build_s, access_s = results[layout]
+        rows.append([
+            layout, f"{build_s * 1e3:.1f}",
+            f"{access_s * 1e3:.1f}" if access_s is not None
+            else f"(assemble 10%: {assemble_s * 1e3:.1f})",
+            f"{cached.nbytes / 1e6:.2f}",
+        ])
+    lines = table(["layout (Fig. 4)", "build (ms)", "project volume_total (ms)",
+                   "memory (MB)"], rows)
+    emit("Figure 4 — materialisation layouts for JSON-carrying tuples", lines)
+
+    mem = {k: v[0].nbytes for k, v in results.items()}
+    assert mem["positions"] < mem["bson"] < mem["objects"]
+    assert mem["positions"] < 0.05 * mem["json_text"], \
+        "positions must be orders of magnitude smaller (pollution avoidance)"
+    access = {k: v[2] for k, v in results.items() if v[2] is not None}
+    assert access["objects"] < access["json_text"], \
+        "parsed objects must be cheaper to re-access than re-parsing text"
+    assert len(assembled) == len(survivors)

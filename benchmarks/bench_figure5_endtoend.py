@@ -1,0 +1,59 @@
+"""Figure 5 — ViDa vs. warehouse baselines on the HBP workload (paper §6).
+
+One benchmark per system configuration; each runs preparation (flatten +
+load, zero for ViDa) and then the full query workload. The session fixture
+prints the combined Figure 5 table with per-bar components and speedups.
+
+Expected shape (paper): ViDa total ≪ every baseline; ViDa completes the
+whole workload before the baselines finish loading; speedup vs the worst
+configuration in the low single digits ("up to 4.2x" on the paper's
+hardware — our rowstore substrate pays relatively more per tuple, so its
+factor can be larger).
+"""
+
+import pytest
+
+from repro.workloads import BASELINES, normalize_result, run_baseline, run_vida
+
+_vida_results = {}
+
+
+def test_figure5_vida(benchmark, hbp, figure5_results):
+    datasets, queries = hbp
+
+    def run():
+        timing, _db, results = run_vida(datasets, queries)
+        return timing, results
+
+    timing, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure5_results["vida"] = timing
+    _vida_results["values"] = results
+    assert timing.extra["cache_hit_ratio"] > 0.5
+
+
+@pytest.mark.parametrize("kind", BASELINES)
+def test_figure5_baseline(benchmark, hbp, figure5_results, tmp_path, kind):
+    datasets, queries = hbp
+
+    def run():
+        return run_baseline(kind, datasets, queries, str(tmp_path / kind.replace("+", "_")))
+
+    timing, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure5_results[kind] = timing
+
+    # every baseline must compute the same answers as ViDa
+    vida_values = _vida_results.get("values")
+    if vida_values is not None:
+        mismatches = sum(
+            1 for a, b in zip(vida_values, results)
+            if normalize_result(a) != normalize_result(b)
+        )
+        assert mismatches == 0, f"{kind} disagrees with ViDa on {mismatches} queries"
+
+    # the headline shape: ViDa total below this baseline's total
+    vida_timing = figure5_results.get("vida")
+    if vida_timing is not None:
+        assert vida_timing.total_s < timing.total_s, (
+            f"ViDa ({vida_timing.total_s:.1f}s) should beat {kind} "
+            f"({timing.total_s:.1f}s)"
+        )

@@ -1,0 +1,71 @@
+"""§4 ablation — JIT-generated operators vs pre-cooked generic operators.
+
+"A 'pre-cooked' operator offering all these capabilities must be very
+generic, thus introducing significant interpretation overhead." Both
+engines execute the *same physical plans* over the same data; the static
+engine interprets them with generic Volcano-style operators and a recursive
+expression interpreter, the JIT engine runs one fused generated function.
+"""
+
+import time
+
+from repro.bench import emit, table
+from repro.core.session import ViDa
+
+QUERIES = [
+    ("filter+aggregate",
+     "for { p <- Patients, p.age > 40 } yield avg p.protein_3"),
+    ("conjunctive filter",
+     'for { p <- Patients, p.age > 30, p.gender = "f", p.protein_1 > 45.0 } '
+     "yield count 1"),
+    ("hash join",
+     "for { p <- Patients, g <- Genetics, p.id = g.id, g.snp_5 = 1 } "
+     "yield count 1"),
+    ("projection",
+     "for { p <- Patients, p.age >= 60 } yield bag "
+     "(id := p.id, a := p.age, x := p.protein_2)"),
+]
+
+
+def _avg_seconds(db, query, engine, repeats=5):
+    # warm-up run amortises raw access; measurement hits the caches, so the
+    # engines' per-tuple CPU work is what's compared.
+    db.query(query, engine=engine)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        db.query(query, engine=engine)
+    return (time.perf_counter() - t0) / repeats
+
+
+def test_jit_vs_static_interpretation_overhead(benchmark, hbp):
+    datasets, _queries = hbp
+
+    def run():
+        db = ViDa()
+        db.register_csv("Patients", datasets.patients_csv)
+        db.register_csv("Genetics", datasets.genetics_csv)
+        out = []
+        for name, query in QUERIES:
+            jit = _avg_seconds(db, query, "jit")
+            static = _avg_seconds(db, query, "static")
+            out.append((name, jit, static))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    speedups = []
+    for name, jit, static in results:
+        speedup = static / jit
+        speedups.append(speedup)
+        rows.append([name, f"{jit * 1e3:.2f}", f"{static * 1e3:.2f}",
+                     f"{speedup:.1f}x"])
+    lines = table(["query", "JIT (ms)", "static (ms)", "speedup"], rows)
+    lines.append("")
+    lines.append(f"geometric-ish mean speedup: "
+                 f"{sum(speedups) / len(speedups):.1f}x — the interpretation "
+                 "overhead the paper's JIT operators eliminate")
+    emit("§4 — JIT-generated vs pre-cooked (interpreted) operators", lines)
+
+    assert all(s > 1.0 for s in speedups), \
+        "generated code must beat interpreted operators on every query"

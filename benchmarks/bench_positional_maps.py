@@ -1,0 +1,65 @@
+"""§5 ablation — positional maps amortise CSV navigation.
+
+The paper's example: "for a CSV file for which no positional index
+structures exist, the cost to retrieve a tuple might be estimated to be
+3 × const_cost". This benchmark measures, on the wide Genetics CSV:
+
+- the cold scan (tokenizes, builds the map),
+- the warm scan of the *same* columns (direct offset hits),
+- the warm scan of *new* columns (anchored navigation),
+- the same scan with positional maps disabled (every query pays cold cost).
+"""
+
+import time
+
+from repro.bench import emit, table
+from repro.core.session import ViDa
+
+
+def _timed(db, query):
+    t0 = time.perf_counter()
+    result = db.query(query)
+    return time.perf_counter() - t0, result
+
+
+def test_positional_map_amortisation(benchmark, hbp):
+    datasets, _queries = hbp
+
+    def run():
+        out = {}
+        db = ViDa(enable_cache=False)  # isolate the posmap effect from caching
+        db.register_csv("G", datasets.genetics_csv)
+        out["cold"], _ = _timed(db, "for { g <- G } yield avg g.snp_10")
+        out["warm same"], _ = _timed(db, "for { g <- G } yield avg g.snp_10")
+        out["warm new col"], _ = _timed(db, "for { g <- G } yield avg g.snp_777")
+        stats = db.catalog.get("G").plugin.posmap.stats
+
+        nomap = ViDa(enable_cache=False, enable_posmap=False)
+        nomap.register_csv("G", datasets.genetics_csv)
+        _timed(nomap, "for { g <- G } yield avg g.snp_10")
+        out["no posmap repeat"], _ = _timed(
+            nomap, "for { g <- G } yield avg g.snp_10"
+        )
+        return out, stats
+
+    out, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, f"{seconds * 1e3:.1f}"] for name, seconds in out.items()]
+    lines = table(["scan", "time (ms)"], rows)
+    lines.append("")
+    lines.append(f"map navigation: {stats.direct_hits} direct hits, "
+                 f"{stats.anchored_scans} anchored, {stats.full_scans} full")
+    cold_over_warm = out["cold"] / out["warm same"]
+    width = datasets.config.genetics_snps + 1
+    lines.append(f"cold / warm ratio: {cold_over_warm:.1f}x — on a "
+                 f"{width}-column file the map skips tokenizing "
+                 "~99% of every line")
+    lines.append("(the paper's 3x figure is the per-tuple wrapper estimate "
+                 "for unmapped CSV vs a loaded DBMS; the amortisation "
+                 "direction is what must hold)")
+    emit("§5 — positional map amortisation on the Genetics CSV", lines)
+
+    assert out["warm same"] < out["cold"], "the map must pay off"
+    assert out["no posmap repeat"] > out["warm same"], \
+        "disabling the map must make repeat scans slower"
+    assert stats.direct_hits > 0

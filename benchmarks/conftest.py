@@ -1,0 +1,78 @@
+"""Shared benchmark fixtures: one HBP instance per session + result bags.
+
+Benchmark scale is chosen so the full suite finishes in a few minutes while
+preserving the paper's shape drivers (Genetics far wider than queries touch,
+nested JSON, 80%-locality workload). ``VIDA_BENCH_SCALE=full`` switches to
+the default (larger) workload configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import emit, reset_log, table
+from repro.workloads import HBPConfig, generate_datasets, make_workload
+
+BENCH_CONFIG = HBPConfig(
+    patients_rows=2500,
+    patients_proteins=64,
+    genetics_rows=2000,
+    genetics_snps=1000,
+    brain_objects=1000,
+    regions_per_object=10,
+    n_queries=100,
+)
+
+if os.environ.get("VIDA_BENCH_SCALE") == "full":
+    BENCH_CONFIG = HBPConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_log():
+    reset_log()
+
+
+@pytest.fixture(scope="session")
+def hbp(tmp_path_factory):
+    """Generated HBP datasets + workload at benchmark scale."""
+    directory = tmp_path_factory.mktemp("hbp_bench")
+    datasets = generate_datasets(directory, BENCH_CONFIG)
+    queries = make_workload(BENCH_CONFIG)
+    return datasets, queries
+
+
+@pytest.fixture(scope="session")
+def figure5_results():
+    """Accumulates per-system timings; prints the Figure 5 table at the end."""
+    bag: dict = {}
+    yield bag
+    if not bag:
+        return
+    vida = bag.get("vida")
+    rows = []
+    for system in ("vida", "colstore", "rowstore", "colstore+mongo",
+                   "rowstore+mongo"):
+        t = bag.get(system)
+        if t is None:
+            continue
+        speedup = (t.total_s / vida.total_s) if vida else float("nan")
+        rows.append([
+            system, t.flatten_s, t.load_dbms_s + t.load_mongo_s, t.query_s,
+            t.total_s, f"{speedup:.2f}x",
+        ])
+    lines = table(
+        ["system", "flatten (s)", "load (s)", "q1-qN (s)", "total (s)",
+         "vs ViDa"],
+        rows,
+    )
+    if vida:
+        lines.append("")
+        lines.append(f"ViDa cache service ratio: "
+                     f"{vida.extra.get('cache_hit_ratio', 0):.0%} (paper: ~80%)")
+        preps = [t.prep_s for k, t in bag.items() if k != "vida"]
+        if preps and all(vida.total_s < p for p in preps):
+            lines.append("ViDa finished the whole workload before every "
+                         "baseline finished preparation (paper's claim).")
+    emit("Figure 5 — cumulative preparation + 150-query workload", lines)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Procedural analytics on ViDa (paper §7): iterative K-means over raw data.
+
+"The monoid comprehension calculus provides numerous constructs (e.g.,
+variables, if-then-else clauses) that ViDa can already use to express tasks
+that would typically be expressed using a procedural language."
+
+Each K-means iteration is expressed as *declarative comprehensions* with the
+current centroids inlined as constants — so every iteration JIT-compiles a
+fresh specialised engine (the "database as a query" idea taken literally),
+while the raw CSV is read once and every later pass is served from ViDa's
+columnar caches.
+
+Run:  python examples/procedural_kmeans.py
+"""
+
+import os
+import random
+import tempfile
+
+from repro import ViDa
+from repro.formats import write_csv
+
+K = 3
+ITERATIONS = 8
+
+
+def make_points(path: str, seed: int = 5) -> list[tuple[float, float]]:
+    """Three gaussian blobs in 2-D, written as a raw CSV."""
+    rng = random.Random(seed)
+    centers = [(0.0, 0.0), (8.0, 8.0), (0.0, 9.0)]
+    points = []
+    for i in range(1200):
+        cx, cy = centers[i % 3]
+        points.append((round(rng.gauss(cx, 1.2), 3), round(rng.gauss(cy, 1.2), 3)))
+    write_csv(path, ["id", "x", "y"],
+              [(i, x, y) for i, (x, y) in enumerate(points)])
+    return points
+
+
+def nearest_pred(centroids: list[tuple[float, float]], j: int) -> str:
+    """A predicate selecting points whose nearest centroid is ``j``.
+
+    Squared distances are spelled out arithmetically; ties break toward the
+    lower index (strict inequality for earlier centroids).
+    """
+    def dist(c):
+        cx, cy = c
+        return f"((p.x - {cx}) * (p.x - {cx}) + (p.y - {cy}) * (p.y - {cy}))"
+
+    dj = dist(centroids[j])
+    clauses = []
+    for other, c in enumerate(centroids):
+        if other == j:
+            continue
+        cmp_op = "<" if j < other else "<="
+        clauses.append(f"{dj} {cmp_op} {dist(c)}")
+    return " and ".join(clauses)
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="vida-kmeans-")
+    csv_path = os.path.join(workdir, "points.csv")
+    make_points(csv_path)
+
+    db = ViDa()
+    db.register_csv("Points", csv_path)
+
+    rng = random.Random(1)
+    centroids = [(rng.uniform(-2, 10), rng.uniform(-2, 10)) for _ in range(K)]
+    print(f"initial centroids: {[(round(x,2), round(y,2)) for x, y in centroids]}")
+
+    for it in range(ITERATIONS):
+        new_centroids = []
+        sizes = []
+        for j in range(K):
+            pred = nearest_pred(centroids, j)
+            n = db.query(f"for {{ p <- Points, {pred} }} yield count 1").value
+            if n == 0:
+                new_centroids.append(centroids[j])
+                sizes.append(0)
+                continue
+            sx = db.query(f"for {{ p <- Points, {pred} }} yield sum p.x").value
+            sy = db.query(f"for {{ p <- Points, {pred} }} yield sum p.y").value
+            new_centroids.append((sx / n, sy / n))
+            sizes.append(n)
+        shift = max(
+            abs(a[0] - b[0]) + abs(a[1] - b[1])
+            for a, b in zip(centroids, new_centroids)
+        )
+        centroids = new_centroids
+        print(f"iter {it + 1}: sizes={sizes} "
+              f"centroids={[(round(x, 2), round(y, 2)) for x, y in centroids]} "
+              f"shift={shift:.4f}")
+        if shift < 1e-4:
+            break
+
+    served = sum(1 for s in db.query_log if s.cache_only)
+    print(f"\n{len(db.query_log)} JIT-compiled queries; "
+          f"{served} served from ViDa's caches "
+          f"({served / len(db.query_log):.0%} — the raw file was parsed once)")
+    print("every iteration generated fresh specialised code: the engine is "
+          "rebuilt per query, as the paper envisions")
+
+
+if __name__ == "__main__":
+    main()

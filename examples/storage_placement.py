@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Storage-technology placement study (paper §7): where should raw data,
+positional structures, and caches live as HDD gives way to flash/PCM?
+
+Uses the simulated device models to compare placement plans on a raw-scan
+workload, reporting simulated seconds and energy — the decision inputs the
+paper says a virtualization layer must weigh ("cost, performance and energy
+consumption").
+
+Run:  python examples/storage_placement.py
+"""
+
+import os
+import tempfile
+
+from repro import ViDa
+from repro.formats import write_csv
+from repro.storage import PROFILES, StorageDevice
+
+
+def run_with_device(csv_path: str, profile: str) -> StorageDevice:
+    device = StorageDevice(profile)  # accounted, not slept
+    db = ViDa()
+    db.register_csv("T", csv_path)
+    db.set_device("T", device)
+    # one cold scan (builds positional map), one warm projective query
+    db.query("for { t <- T } yield avg t.v0")
+    db.cache.clear()
+    db.query("for { t <- T } yield avg t.v7")
+    return device
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="vida-storage-")
+    csv_path = os.path.join(workdir, "wide.csv")
+    cols = ["id"] + [f"v{i}" for i in range(20)]
+    write_csv(csv_path, cols,
+              [tuple([r] + [round(r * 0.1 + i, 2) for i in range(20)])
+               for r in range(20000)])
+    size_mb = os.path.getsize(csv_path) / 1e6
+    print(f"raw file: {size_mb:.1f} MB, devices: {', '.join(PROFILES)}\n")
+
+    print(f"{'device':<8} {'sim seconds':>12} {'energy (J)':>12} "
+          f"{'MB read':>9} {'seeks':>6}")
+    results = {}
+    for profile in ("hdd", "flash", "pcm"):
+        device = run_with_device(csv_path, profile)
+        stats = device.stats
+        results[profile] = stats
+        print(f"{profile:<8} {stats.simulated_seconds:12.4f} "
+              f"{stats.energy_joules:12.6f} {stats.bytes_read / 1e6:9.1f} "
+              f"{stats.read_seeks:6d}")
+
+    hdd = results["hdd"].simulated_seconds
+    print("\nspeedups over HDD for the same raw-data workload:")
+    for profile in ("flash", "pcm"):
+        print(f"  {profile}: {hdd / results[profile].simulated_seconds:.1f}x")
+    print("\nimplication (paper §7): raw data benefits most from sequential "
+          "bandwidth; positional maps and caches are small and random — "
+          "place them on the lowest-latency tier.")
+
+
+if __name__ == "__main__":
+    main()

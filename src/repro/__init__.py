@@ -1,0 +1,36 @@
+"""ViDa: Just-In-Time Data Virtualization (CIDR 2015) — Python reproduction.
+
+Public API:
+
+- :class:`ViDa` — the session facade: register raw files, run queries.
+- :mod:`repro.mcc` — the monoid comprehension calculus (parse/normalize/…).
+- :mod:`repro.formats` — raw-format plugins (CSV, JSON, arrays, XLS).
+- :mod:`repro.warehouse` — the baseline systems the paper compares against.
+- :mod:`repro.workloads` — the Human Brain Project synthetic workload.
+- :mod:`repro.cleaning` — scan-time data-cleaning policies.
+- :mod:`repro.storage` — tracked I/O and simulated storage devices.
+"""
+
+from .core.session import QueryResult, QueryStats, ViDa
+from .errors import (
+    CatalogError,
+    CleaningError,
+    CodegenError,
+    DataFormatError,
+    ExecutionError,
+    ParseError,
+    PlanningError,
+    StorageError,
+    TypeCheckError,
+    ViDaError,
+    WarehouseError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CatalogError", "CleaningError", "CodegenError", "DataFormatError",
+    "ExecutionError", "ParseError", "PlanningError", "QueryResult",
+    "QueryStats", "StorageError", "TypeCheckError", "ViDa", "ViDaError",
+    "WarehouseError", "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness utilities (reporting)."""
+
+from .report import emit, reset_log, table
+
+__all__ = ["emit", "reset_log", "table"]

@@ -1,0 +1,65 @@
+"""Benchmark reporting: paper-shape tables that survive pytest capture.
+
+Benchmarks print the rows/series the paper reports (Table 2, Figure 5 bars,
+the §6 in-text claims). pytest captures stdout, so :func:`emit` writes to
+the *real* stdout (``sys.__stdout__``) and mirrors everything into a log
+file (``benchmarks/results_last_run.txt`` by default, override with the
+``VIDA_BENCH_LOG`` environment variable).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Sequence
+
+_DEFAULT_LOG = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks",
+    "results_last_run.txt")
+
+
+def _log_path() -> str:
+    return os.environ.get("VIDA_BENCH_LOG", _DEFAULT_LOG)
+
+
+def emit(title: str, lines: Sequence[str]) -> None:
+    """Print a titled block to the real stdout and append it to the log."""
+    block = [f"", f"=== {title} ===", *lines]
+    text = "\n".join(block)
+    print(text, file=sys.__stdout__, flush=True)
+    try:
+        with open(_log_path(), "a", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    except OSError:
+        pass  # logging is best-effort; the console copy is authoritative
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> list[str]:
+    """Format an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def reset_log() -> None:
+    """Truncate the log file (called once per benchmark session)."""
+    try:
+        with open(_log_path(), "w", encoding="utf-8") as fh:
+            fh.write("")
+    except OSError:
+        pass

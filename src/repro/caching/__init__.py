@@ -1,0 +1,11 @@
+"""ViDa data caches: multi-layout materialised field caches with
+pollution-avoiding admission policy."""
+
+from .cache import CacheEntry, CacheStats, DataCache
+from .layouts import LAYOUTS, CachedData, materialize
+from .policy import DEFAULT_POLICY, AdmissionPolicy
+
+__all__ = [
+    "AdmissionPolicy", "CacheEntry", "CacheStats", "CachedData",
+    "DEFAULT_POLICY", "DataCache", "LAYOUTS", "materialize",
+]

@@ -1,0 +1,160 @@
+"""Cache/materialisation layouts (paper Figure 4 and §5 "Re-using and
+re-shaping results").
+
+ViDa "can keep copies of the same information of interest in its caches
+using different data layouts and use the most suitable layout during query
+evaluation". The layouts here are the four of Figure 4 plus the two
+relational ones:
+
+=============  ==============================================================
+``rows``       list of tuples (row-oriented, NSM-like)
+``columns``    dict field → list (DSM-like; serves any field subset)
+``objects``    list of parsed Python objects (Figure 4(c), "C++ object")
+``json_text``  list of raw JSON text fragments (Figure 4(a))
+``bson``       list of BSON-lite blobs (Figure 4(b))
+``positions``  list of (start, end) byte spans (Figure 4(d))
+=============  ==============================================================
+
+Each layout knows how to materialise from an iterator, iterate back in a
+requested field order, and estimate its memory footprint — the inputs to the
+optimizer's layout decision.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ViDaError
+from ..formats.jsonfmt import bson as _bson
+
+LAYOUTS = ("rows", "columns", "objects", "json_text", "bson", "positions")
+
+
+def _deep_bytes(value, _depth: int = 0) -> int:
+    """Rough recursive memory estimate of a Python value."""
+    if _depth > 6:
+        return 64
+    size = sys.getsizeof(value)
+    if isinstance(value, dict):
+        size += sum(_deep_bytes(k, _depth + 1) + _deep_bytes(v, _depth + 1)
+                    for k, v in value.items())
+    elif isinstance(value, (list, tuple, set)):
+        size += sum(_deep_bytes(v, _depth + 1) for v in value)
+    return size
+
+
+@dataclass
+class CachedData:
+    """Materialised data in one layout.
+
+    ``fields`` names the tuple positions for rows/columns layouts; for
+    object-ish layouts it records which projection produced the data
+    (empty tuple = whole element).
+    """
+
+    layout: str
+    fields: tuple[str, ...]
+    data: object
+    nbytes: int
+    count: int
+
+    def iter_rows(self, fields: Sequence[str] | None = None) -> Iterator[tuple]:
+        """Yield tuples in ``fields`` order (None = stored order)."""
+        if self.layout == "rows":
+            rows = self.data  # type: ignore[assignment]
+            if fields is None or tuple(fields) == self.fields:
+                return iter(rows)
+            idx = [self.fields.index(f) for f in fields]
+            return (tuple(r[i] for i in idx) for r in rows)
+        if self.layout == "columns":
+            cols: dict = self.data  # type: ignore[assignment]
+            names = list(fields) if fields is not None else list(self.fields)
+            missing = [f for f in names if f not in cols]
+            if missing:
+                raise ViDaError(f"cached columns missing fields {missing}")
+            return zip(*(cols[f] for f in names))
+        if self.layout == "objects":
+            objs = self.data  # type: ignore[assignment]
+            if fields is None:
+                return ((o,) for o in objs)
+            return (tuple(_navigate(o, f) for f in fields) for o in objs)
+        if self.layout == "json_text":
+            texts = self.data  # type: ignore[assignment]
+            if fields is None:
+                return ((_json.loads(t),) for t in texts)
+            return (
+                tuple(_navigate(_json.loads(t), f) for f in fields) for t in texts
+            )
+        if self.layout == "bson":
+            blobs = self.data  # type: ignore[assignment]
+            if fields is None:
+                return ((_bson.decode(b),) for b in blobs)
+            return (
+                tuple(_navigate(_bson.decode(b), f) for f in fields) for b in blobs
+            )
+        if self.layout == "positions":
+            raise ViDaError(
+                "positions layout holds byte spans, not values; "
+                "assemble() them through the owning JSONSource"
+            )
+        raise ViDaError(f"unknown layout {self.layout!r}")
+
+    def covers(self, fields: Sequence[str]) -> bool:
+        """Can this entry serve a query needing ``fields``?"""
+        if self.layout in ("objects", "json_text", "bson"):
+            return not self.fields  # whole elements serve any projection
+        return all(f in self.fields for f in fields)
+
+
+def _navigate(obj, path: str):
+    from ..formats.jsonfmt import get_path
+
+    return get_path(obj, path)
+
+
+def materialize(
+    layout: str,
+    fields: Sequence[str],
+    rows: Iterable,
+) -> CachedData:
+    """Build a :class:`CachedData` in ``layout`` from an iterable.
+
+    For rows/columns, ``rows`` yields tuples aligned with ``fields``.
+    For objects/json_text/bson, ``rows`` yields the elements themselves.
+    For positions, ``rows`` yields (start, end) pairs.
+    """
+    fields = tuple(fields)
+    if layout == "rows":
+        data = [tuple(r) for r in rows]
+        nbytes = sum(_deep_bytes(r) for r in data)
+        return CachedData(layout, fields, data, nbytes, len(data))
+    if layout == "columns":
+        cols: dict[str, list] = {f: [] for f in fields}
+        count = 0
+        for r in rows:
+            for f, v in zip(fields, r):
+                cols[f].append(v)
+            count += 1
+        nbytes = sum(_deep_bytes(v) for col in cols.values() for v in col)
+        nbytes += sum(sys.getsizeof(col) for col in cols.values())
+        return CachedData(layout, fields, cols, nbytes, count)
+    if layout == "objects":
+        data = list(rows)
+        nbytes = sum(_deep_bytes(o) for o in data)
+        return CachedData(layout, (), data, nbytes, len(data))
+    if layout == "json_text":
+        data = [o if isinstance(o, str) else _json.dumps(o) for o in rows]
+        nbytes = sum(len(t) for t in data)
+        return CachedData(layout, (), data, nbytes, len(data))
+    if layout == "bson":
+        data = [o if isinstance(o, bytes) else _bson.encode(o) for o in rows]
+        nbytes = sum(len(b) for b in data)
+        return CachedData(layout, (), data, nbytes, len(data))
+    if layout == "positions":
+        data = [(int(a), int(b)) for a, b in rows]
+        nbytes = len(data) * 16
+        return CachedData(layout, (), data, nbytes, len(data))
+    raise ViDaError(f"unknown layout {layout!r}; choose from {LAYOUTS}")

@@ -1,0 +1,16 @@
+"""Data-cleaning extension (paper §7): scan-time repair policies."""
+
+from .policies import (
+    CleaningPolicy,
+    DictionaryPolicy,
+    NullPolicy,
+    RaisePolicy,
+    SkipPolicy,
+    hamming,
+    nearest_value,
+)
+
+__all__ = [
+    "CleaningPolicy", "DictionaryPolicy", "NullPolicy", "RaisePolicy",
+    "SkipPolicy", "hamming", "nearest_value",
+]

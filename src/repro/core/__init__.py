@@ -1,0 +1,8 @@
+"""ViDa core: catalog, optimizer, JIT/static executors, session facade."""
+
+from .catalog import Catalog, CatalogEntry
+from .physical import explain_physical
+from .session import QueryResult, QueryStats, ViDa
+
+__all__ = ["Catalog", "CatalogEntry", "QueryResult", "QueryStats", "ViDa",
+           "explain_physical"]

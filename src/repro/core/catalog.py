@@ -1,0 +1,218 @@
+"""The ViDa catalog: registered raw sources and their descriptions.
+
+"ViDa requires an elementary description of each data format. The equivalent
+concept in a DBMS is a catalog containing the schema of each table"
+(paper §3). The catalog owns the plugin instance for each source (which in
+turn owns its auxiliary structures), tracks file fingerprints to detect
+in-place updates, and exposes the type environment the type checker needs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import CatalogError
+from ..formats import (
+    ArraySource,
+    CSVOptions,
+    CSVSource,
+    JSONSource,
+    SourceDescription,
+    XLSSource,
+    learn_description,
+)
+from ..mcc import types as T
+from ..storage.io import FileFingerprint
+
+
+@dataclass
+class CatalogEntry:
+    """One registered source: description + live plugin + fingerprint."""
+
+    description: SourceDescription
+    plugin: object
+    fingerprint: FileFingerprint | None = None
+    #: in-memory collections registered directly (no file behind them)
+    data: list | None = None
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    def format(self) -> str:
+        return self.description.format
+
+
+class Catalog:
+    """Name → :class:`CatalogEntry` registry with update detection."""
+
+    def __init__(self):
+        self._entries: dict[str, CatalogEntry] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def _check_free(self, name: str) -> None:
+        if name in self._entries:
+            raise CatalogError(f"source {name!r} is already registered")
+
+    def register_csv(
+        self,
+        name: str,
+        path: str | os.PathLike,
+        delimiter: str = ",",
+        header: bool = True,
+        columns: Sequence[str] | None = None,
+        types: Sequence[str] | None = None,
+    ) -> CatalogEntry:
+        """Register a CSV file as a bag-of-records source."""
+        self._check_free(name)
+        plugin = CSVSource(
+            path, CSVOptions(delimiter=delimiter, header=header),
+            columns=columns, types=types,
+        )
+        desc = SourceDescription(
+            name=name, format="csv", schema=plugin.schema(), unit="row",
+            access_paths=("sequential", "positional"), path=os.fspath(path),
+            options={"delimiter": delimiter, "header": header},
+        )
+        entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
+        self._entries[name] = entry
+        return entry
+
+    def register_json(self, name: str, path: str | os.PathLike) -> CatalogEntry:
+        """Register a JSON file (NDJSON or top-level array) as a source."""
+        self._check_free(name)
+        plugin = JSONSource(path)
+        desc = SourceDescription(
+            name=name, format="json", schema=plugin.schema(), unit="object",
+            access_paths=("sequential", "positional"), path=os.fspath(path),
+        )
+        entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
+        self._entries[name] = entry
+        return entry
+
+    def register_array(
+        self, name: str, path: str | os.PathLike, dim_names: Sequence[str] | None = None
+    ) -> CatalogEntry:
+        """Register a VARR binary array file as a dimensioned source."""
+        self._check_free(name)
+        plugin = ArraySource(path, dim_names)
+        desc = SourceDescription(
+            name=name, format="array", schema=plugin.schema(), unit="element",
+            access_paths=("sequential", "positional"), path=os.fspath(path),
+        )
+        entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
+        self._entries[name] = entry
+        return entry
+
+    def register_xls(
+        self, name: str, path: str | os.PathLike, sheet: str | None = None
+    ) -> CatalogEntry:
+        """Register one sheet of a VXLS workbook as a source."""
+        self._check_free(name)
+        plugin = XLSSource(path)
+        sheet_name = sheet or plugin.sheet_names()[0]
+        desc = SourceDescription(
+            name=name, format="xls", schema=plugin.schema(sheet_name), unit="row",
+            access_paths=("sequential",), path=os.fspath(path),
+            options={"sheet": sheet_name},
+        )
+        entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
+        self._entries[name] = entry
+        return entry
+
+    def register_memory(
+        self, name: str, data: Sequence, elem_type: T.Type | None = None
+    ) -> CatalogEntry:
+        """Register an in-memory collection (tests, intermediate results)."""
+        self._check_free(name)
+        data = list(data)
+        if elem_type is None:
+            elem_type = T.ANY
+            for item in data[:50]:
+                inferred = T.type_of_python_value(item)
+                unified = T.unify(elem_type, inferred)
+                elem_type = unified if unified is not None else T.ANY
+        desc = SourceDescription(
+            name=name, format="memory", schema=T.bag_of(elem_type), unit="element",
+            access_paths=("sequential",),
+        )
+        entry = CatalogEntry(desc, None, None, data=data)
+        self._entries[name] = entry
+        return entry
+
+    def register_dbms(self, name: str, store, table: str) -> CatalogEntry:
+        """Register a warehouse store's table/collection as a source.
+
+        ViDa's access paths can then use the store's indexes (paper §2.1).
+        """
+        self._check_free(name)
+        from ..formats.dbmsfmt import DBMSSource
+
+        plugin = DBMSSource(store, table)
+        desc = SourceDescription(
+            name=name, format="dbms", schema=plugin.schema(), unit="tuple",
+            access_paths=("sequential", "index") if plugin.indexed_fields()
+            else ("sequential",),
+            options={"table": table},
+        )
+        entry = CatalogEntry(desc, plugin, None)
+        self._entries[name] = entry
+        return entry
+
+    def register_auto(self, name: str, path: str | os.PathLike) -> CatalogEntry:
+        """Register a file of unknown format via schema learning (§3.1)."""
+        desc = learn_description(path, name)
+        if desc.format == "csv":
+            return self.register_csv(name, path, delimiter=desc.options["delimiter"])
+        if desc.format == "json":
+            return self.register_json(name, path)
+        if desc.format == "array":
+            return self.register_array(name, path)
+        if desc.format == "xls":
+            return self.register_xls(name, path, desc.options.get("sheet"))
+        raise CatalogError(f"cannot auto-register format {desc.format!r}")
+
+    def deregister(self, name: str) -> None:
+        if name not in self._entries:
+            raise CatalogError(f"unknown source {name!r}")
+        del self._entries[name]
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._entries)
+
+    def get(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown source {name!r}; registered: {', '.join(sorted(self._entries))}"
+            ) from None
+
+    def type_env(self) -> dict[str, T.Type]:
+        """Variable environment for the type checker (source name → schema)."""
+        return {name: e.description.schema for name, e in self._entries.items()}
+
+    # -- update detection ---------------------------------------------------------
+
+    def check_freshness(self, name: str) -> bool:
+        """True if the backing file is unchanged; False after dropping stale
+        auxiliary structures (paper §2.1: in-place updates drop auxiliaries).
+        """
+        entry = self.get(name)
+        if entry.fingerprint is None or entry.description.path is None:
+            return True
+        if entry.fingerprint.matches(entry.description.path):
+            return True
+        if hasattr(entry.plugin, "invalidate_auxiliary"):
+            entry.plugin.invalidate_auxiliary()
+        entry.fingerprint = FileFingerprint.of(entry.description.path)
+        return False

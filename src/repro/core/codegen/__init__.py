@@ -1,0 +1,8 @@
+"""JIT code generation: calculus/plan → specialised Python source."""
+
+from .compiler import CompiledQuery, QueryCompiler
+from .exprs import ExprContext, ObjectBinding, ScalarBinding, compile_expr
+from .helpers import HELPERS
+
+__all__ = ["CompiledQuery", "ExprContext", "HELPERS", "ObjectBinding",
+           "QueryCompiler", "ScalarBinding", "compile_expr"]

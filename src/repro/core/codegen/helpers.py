@@ -1,0 +1,130 @@
+"""Runtime helpers referenced by generated query code.
+
+Generated functions bind these as local variables in their prelude (local
+loads are the cheapest name resolution in CPython). Each helper exists
+because inlining its logic at every use-site would bloat the generated
+source without measurable gain: they are small, allocation-free, and mostly
+guard against ``None`` (SQL-style null semantics for ordering comparisons).
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+
+def get_path(obj, path: tuple):
+    """Navigate a tuple path through dicts/lists; None on any miss."""
+    current = obj
+    for step in path:
+        if isinstance(current, dict):
+            current = current.get(step)
+        elif isinstance(current, (list, tuple)):
+            try:
+                current = current[int(step)]
+            except (ValueError, IndexError, TypeError):
+                return None
+        else:
+            return None
+        if current is None:
+            return None
+    return current
+
+
+def lt(a, b):
+    return a is not None and b is not None and a < b
+
+
+def le(a, b):
+    return a is not None and b is not None and a <= b
+
+
+def gt(a, b):
+    return a is not None and b is not None and a > b
+
+
+def ge(a, b):
+    return a is not None and b is not None and a >= b
+
+
+@lru_cache(maxsize=256)
+def _like_regex(pattern: str):
+    # re.escape leaves % and _ untouched, so wildcard substitution is safe
+    # after escaping everything else.
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.compile(f"^{regex}$", re.DOTALL)
+
+
+def like(value, pattern) -> bool:
+    """SQL LIKE with % and _ wildcards; null-safe (null never matches)."""
+    if value is None or pattern is None:
+        return False
+    return _like_regex(pattern).match(str(value)) is not None
+
+
+def hashable(v):
+    """Canonical hashable representative (set-monoid deduplication)."""
+    if isinstance(v, dict):
+        return tuple((k, hashable(x)) for k, x in v.items())
+    if isinstance(v, (list, set, tuple)):
+        return tuple(hashable(x) for x in v)
+    return v
+
+
+def nz_lower(a):
+    return a.lower() if isinstance(a, str) else None
+
+
+def nz_upper(a):
+    return a.upper() if isinstance(a, str) else None
+
+
+def nz_len(a):
+    return len(a) if a is not None else None
+
+
+def nz_abs(a):
+    return abs(a) if a is not None else None
+
+
+def substr(s, start, length=None):
+    if s is None:
+        return None
+    start = int(start)
+    if length is None:
+        return s[start:]
+    return s[start:start + int(length)]
+
+
+def contains(haystack, needle) -> bool:
+    if haystack is None or needle is None:
+        return False
+    return needle in haystack
+
+
+def startswith(s, prefix) -> bool:
+    return isinstance(s, str) and prefix is not None and s.startswith(prefix)
+
+
+def endswith(s, suffix) -> bool:
+    return isinstance(s, str) and suffix is not None and s.endswith(suffix)
+
+
+#: name → helper object; the codegen prelude binds these as locals.
+HELPERS = {
+    "_gp": get_path,
+    "_lt": lt,
+    "_le": le,
+    "_gt": gt,
+    "_ge": ge,
+    "_like": like,
+    "_hashable": hashable,
+    "_lower": nz_lower,
+    "_upper": nz_upper,
+    "_len": nz_len,
+    "_abs": nz_abs,
+    "_substr": substr,
+    "_contains": contains,
+    "_startswith": startswith,
+    "_endswith": endswith,
+}

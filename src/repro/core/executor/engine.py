@@ -1,0 +1,51 @@
+"""JIT executor: compile the physical plan, run the generated function.
+
+Compilation is cheap (Python's ``compile`` on a few hundred lines) but not
+free, so compiled queries are memoised by plan fingerprint — re-running the
+same query shape skips codegen, the analogue of ViDa reusing generated
+operators across a workload with locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.compiler import CompiledQuery, QueryCompiler
+from ..physical import PhysReduce, explain_physical
+
+
+def plan_fingerprint(plan: PhysReduce) -> str:
+    """A structural key identifying a physical plan (for the compile cache)."""
+    return explain_physical(plan)
+
+
+@dataclass
+class JITStats:
+    compilations: int = 0
+    cache_hits: int = 0
+
+
+class JITExecutor:
+    """Compiles plans to Python functions; caches compilations."""
+
+    def __init__(self, catalog, max_cached: int = 256):
+        self.catalog = catalog
+        self.max_cached = max_cached
+        self._compiled: dict[str, CompiledQuery] = {}
+        self.stats = JITStats()
+
+    def compile(self, plan: PhysReduce) -> CompiledQuery:
+        key = plan_fingerprint(plan)
+        hit = self._compiled.get(key)
+        if hit is not None:
+            self.stats.cache_hits += 1
+            return hit
+        compiled = QueryCompiler(self.catalog).compile(plan)
+        self.stats.compilations += 1
+        if len(self._compiled) >= self.max_cached:
+            self._compiled.pop(next(iter(self._compiled)))
+        self._compiled[key] = compiled
+        return compiled
+
+    def execute(self, plan: PhysReduce, runtime):
+        return self.compile(plan)(runtime)

@@ -1,0 +1,322 @@
+"""Query runtime: the services generated (and interpreted) plans call into.
+
+A fresh :class:`QueryRuntime` is created per query execution. It owns no
+data itself — it mediates access to the catalog's plugins, the session-wide
+:class:`~repro.caching.DataCache`, cleaning policies, and optional simulated
+devices, while accounting execution statistics (raw rows parsed, cache rows
+served, raw bytes touched) that the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ...caching import DataCache
+from ...errors import ExecutionError
+from ...mcc.monoids import get_monoid
+
+#: the null tokens generated CSV conversion code tests against
+NULL_TOKENS = frozenset(["", "null", "NULL", "NA", "N/A", "\\N"])
+
+
+@dataclass
+class ExecStats:
+    """Per-query execution counters."""
+
+    raw_rows: int = 0
+    cache_rows: int = 0
+    raw_bytes: int = 0
+    raw_sources: set = field(default_factory=set)
+    cache_sources: set = field(default_factory=set)
+    cleaned_rows: int = 0
+    skipped_rows: int = 0
+
+    @property
+    def cache_only(self) -> bool:
+        """True when the query never touched a raw file."""
+        return not self.raw_sources
+
+
+class QueryRuntime:
+    """Execution-time context handed to compiled/interpreted plans."""
+
+    null_tokens = NULL_TOKENS
+
+    def __init__(
+        self,
+        catalog,
+        cache: DataCache,
+        cleaning: dict | None = None,
+        devices: dict | None = None,
+    ):
+        self.catalog = catalog
+        self.cache = cache
+        self.cleaning = cleaning or {}
+        self.devices = devices or {}
+        self.stats = ExecStats()
+
+    # -- generic -----------------------------------------------------------
+
+    def monoid(self, name: str, params: tuple = ()):
+        return get_monoid(name, params)
+
+    def device_for(self, source: str):
+        return self.devices.get(source) or self.devices.get("*")
+
+    # -- memory sources -----------------------------------------------------------
+
+    def memory(self, source: str):
+        entry = self.catalog.get(source)
+        if entry.data is None:
+            raise ExecutionError(f"source {source!r} is not an in-memory collection")
+        self.stats.cache_rows += len(entry.data)
+        return entry.data
+
+    # -- cache access -----------------------------------------------------------
+
+    def cache_data(self, source: str, fields: tuple, whole: bool):
+        """Serve a scan from the cache; returns (data, layout).
+
+        For field projections the result is a list of column lists aligned
+        with ``fields``; for whole-element service it is an iterable of
+        elements.
+        """
+        if whole:
+            entry = self.cache.lookup(source, [], layouts=("objects", "bson", "json_text"))
+        else:
+            entry = self.cache.lookup(source, list(fields))
+        if entry is None:
+            raise ExecutionError(
+                f"planner chose cache access for {source!r} but no entry covers "
+                f"fields {fields!r}"
+            )
+        cached = entry.cached
+        self.stats.cache_sources.add(source)
+        self.stats.cache_rows += cached.count
+        if whole:
+            if cached.layout in ("objects", "bson", "json_text"):
+                return [row[0] for row in cached.iter_rows(None)], cached.layout
+            raise ExecutionError(
+                f"cache entry for {source!r} has layout {cached.layout!r}, "
+                "cannot serve whole elements"
+            )
+        if cached.layout == "columns":
+            return [cached.data[f] for f in fields], "columns"
+        cols: list[list] = [[] for _ in fields]
+        for row in cached.iter_rows(fields):
+            for i, v in enumerate(row):
+                cols[i].append(v)
+        return cols, cached.layout
+
+    def admit_columns(self, source: str, fields: tuple, columns: tuple) -> None:
+        """Admit piggybacked columnar data gathered during a raw scan."""
+        rows = zip(*columns) if len(columns) > 1 else ((v,) for v in columns[0])
+        self.cache.put(source, "columns", fields, rows)
+
+    def admit_elements(self, source: str, layout: str, elements: list) -> None:
+        self.cache.put(source, layout, (), elements)
+
+    # -- CSV access paths -----------------------------------------------------------
+
+    def csv_lines_cold(self, source: str, anchors: tuple):
+        """Cold scan: yield (row, line) while building the positional map."""
+        entry = self.catalog.get(source)
+        plugin = entry.plugin
+        device = self.device_for(source)
+        anchor_list = list(anchors)
+        plugin.posmap.begin_population(anchor_list)
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(plugin.path)
+        from ...storage.io import RawFile
+
+        encoding = plugin.options.encoding
+        record_row = plugin.posmap.record_row
+        with RawFile(plugin.path, device=device) as raw:
+            row = 0
+            for offset, line_bytes in raw.iter_lines():
+                if offset < plugin._data_start:
+                    continue
+                line = line_bytes.decode(encoding)
+                if not line:
+                    continue
+                record_row(offset, line, anchor_list)
+                yield row, line
+                row += 1
+        plugin.posmap.finish_population()
+        self.stats.raw_rows += row
+
+    def csv_lines_warm(self, source: str):
+        """Warm scan: yield (row, line); navigation uses the positional map."""
+        entry = self.catalog.get(source)
+        plugin = entry.plugin
+        device = self.device_for(source)
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(plugin.path)
+        from ...storage.io import RawFile
+
+        encoding = plugin.options.encoding
+        with RawFile(plugin.path, device=device) as raw:
+            row = 0
+            for offset, line_bytes in raw.iter_lines():
+                if offset < plugin._data_start:
+                    continue
+                line = line_bytes.decode(encoding)
+                if not line:
+                    continue
+                yield row, line
+                row += 1
+        self.stats.raw_rows += row
+
+    def posmap_field(self, source: str):
+        plugin = self.catalog.get(source).plugin
+        return plugin.posmap.field_in_line
+
+    def csv_row_dict(self, source: str, cells: list) -> dict:
+        """Convert a full split row into a column-name → value dict."""
+        plugin = self.catalog.get(source).plugin
+        out = {}
+        for i, name in enumerate(plugin.columns):
+            text = cells[i] if i < len(cells) else ""
+            if text in NULL_TOKENS:
+                out[name] = None
+            else:
+                out[name] = plugin.converter(i)(text)
+        return out
+
+    # -- JSON -----------------------------------------------------------
+
+    def json_objects(self, source: str):
+        entry = self.catalog.get(source)
+        plugin = entry.plugin
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(plugin.path)
+        count = 0
+        for obj in plugin.scan_objects(device=self.device_for(source)):
+            yield obj
+            count += 1
+        self.stats.raw_rows += count
+
+    def json_spans(self, source: str):
+        plugin = self.catalog.get(source).plugin
+        self.stats.raw_sources.add(source)
+        return plugin.scan_positions()
+
+    def json_assemble(self, source: str, spans):
+        plugin = self.catalog.get(source).plugin
+        return plugin.assemble(spans, device=self.device_for(source))
+
+    # -- array / xls -----------------------------------------------------------
+
+    def array_scan(self, source: str):
+        entry = self.catalog.get(source)
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
+        count = 0
+        for tup in entry.plugin.scan(device=self.device_for(source)):
+            yield tup
+            count += 1
+        self.stats.raw_rows += count
+
+    def xls_rows(self, source: str, fields: tuple):
+        entry = self.catalog.get(source)
+        sheet = entry.description.options.get("sheet")
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
+        count = 0
+        for tup in entry.plugin.scan(sheet, list(fields) or None,
+                                     device=self.device_for(source)):
+            yield tup
+            count += 1
+        self.stats.raw_rows += count
+
+    # -- DBMS sources -----------------------------------------------------------
+
+    def dbms_rows(self, source: str, fields: tuple, index_eq: tuple | None):
+        """Scan a registered DBMS source; uses the store index when the
+        planner pushed an equality down (paper §2.1)."""
+        plugin = self.catalog.get(source).plugin
+        count = 0
+        if index_eq is not None:
+            field_name, value = index_eq
+            for doc in plugin.index_lookup(field_name, value):
+                yield doc
+                count += 1
+        else:
+            for record in plugin.scan(list(fields) or None):
+                yield record
+                count += 1
+        self.stats.cache_rows += count
+
+    # -- generic row iterator (subqueries, interpreter) ------------------------
+
+    def iter_source(self, source: str):
+        """Yield every element of a source as a record-like value.
+
+        CSV/array/xls rows surface as dicts so path navigation works
+        uniformly; JSON objects and memory elements pass through.
+        """
+        entry = self.catalog.get(source)
+        fmt = entry.format
+        if entry.data is not None:
+            self.stats.cache_rows += len(entry.data)
+            yield from entry.data
+            return
+        if fmt == "csv":
+            plugin = entry.plugin
+            columns = plugin.columns
+            self.stats.raw_sources.add(source)
+            self.stats.raw_bytes += os.path.getsize(plugin.path)
+            count = 0
+            for tup in plugin.scan(None, device=self.device_for(source),
+                                   clean=self.cleaning.get(source)):
+                yield dict(zip(columns, tup))
+                count += 1
+            self.stats.raw_rows += count
+            return
+        if fmt == "json":
+            yield from self.json_objects(source)
+            return
+        if fmt == "array":
+            plugin = entry.plugin
+            names = list(plugin.dim_names) + [n for n, _t in plugin.header.fields]
+            for tup in self.array_scan(source):
+                yield dict(zip(names, tup))
+            return
+        if fmt == "xls":
+            sheet = entry.description.options.get("sheet")
+            columns = entry.plugin.sheets[sheet].columns
+            for tup in self.xls_rows(source, tuple(columns)):
+                yield dict(zip(columns, tup))
+            return
+        if fmt == "dbms":
+            yield from self.dbms_rows(source, (), None)
+            return
+        raise ExecutionError(f"cannot iterate source of format {fmt!r}")
+
+    # -- cleaning -----------------------------------------------------------
+
+    def has_cleaning(self, source: str) -> bool:
+        return source in self.cleaning
+
+    def cleaning_validates(self, source: str) -> bool:
+        """True when the policy must see *every* row (dictionary validation)."""
+        policy = self.cleaning.get(source)
+        return bool(policy is not None and getattr(policy, "validate_always", False))
+
+    def clean_row(self, source: str, row: int, cells: list, cols: tuple):
+        """Delegate a conversion failure to the source's cleaning policy.
+
+        Returns repaired converted values (aligned with ``cols``) or None to
+        skip the row.
+        """
+        policy = self.cleaning.get(source)
+        if policy is None:
+            raise ExecutionError(f"no cleaning policy for {source!r}")
+        plugin = self.catalog.get(source).plugin
+        repaired = policy.repair(plugin, row, cells, list(cols))
+        if repaired is None:
+            self.stats.skipped_rows += 1
+        else:
+            self.stats.cleaned_rows += 1
+        return repaired

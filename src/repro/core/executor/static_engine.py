@@ -1,0 +1,394 @@
+"""Static executor: pre-generated, generic, interpreted operators.
+
+This is the repo's stand-in for the paper's static engine ("for the rest of
+the queries … we use a static pre-generated executor", §6) and the foil for
+the JIT executor: Volcano-style pull operators over generic environment
+dicts, with every expression evaluated by a recursive interpreter. The
+"significant interpretation overhead" of pre-cooked operators (§4) is
+exactly what the JIT-vs-static benchmark measures.
+
+Semantics match the generated code exactly (null-skipping numeric
+aggregates, null-safe ordering comparisons, set-monoid dedup by canonical
+hashable keys) so the two engines are differential-testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import ExecutionError
+from ...mcc import ast as A
+from ...mcc.monoids import Monoid, get_monoid
+from ..codegen.helpers import HELPERS, get_path, hashable, like
+from ..physical import (
+    PhysExprScan,
+    PhysFilter,
+    PhysHashJoin,
+    PhysNest,
+    PhysNLJoin,
+    PhysNode,
+    PhysReduce,
+    PhysScan,
+    PhysUnnest,
+)
+
+Env = dict
+
+
+# ---------------------------------------------------------------------------
+# Expression interpreter
+# ---------------------------------------------------------------------------
+
+_NUMERIC_SKIP_NULL = ("sum", "prod", "avg", "max", "min")
+
+
+def eval_expr(expr: A.Expr, env: Env, rt) -> object:
+    """Interpret a calculus expression under variable bindings ``env``."""
+    if isinstance(expr, A.Null):
+        return None
+    if isinstance(expr, A.Const):
+        return expr.value
+    if isinstance(expr, A.Var):
+        if expr.name in env:
+            return env[expr.name]
+        if expr.name in rt.catalog.names():
+            return list(rt.iter_source(expr.name))
+        raise ExecutionError(f"unbound variable {expr.name!r}")
+    if isinstance(expr, A.Proj):
+        base = eval_expr(expr.expr, env, rt)
+        return get_path(base, (expr.attr,))
+    if isinstance(expr, A.RecordCons):
+        return {name: eval_expr(e, env, rt) for name, e in expr.fields}
+    if isinstance(expr, A.If):
+        if eval_expr(expr.cond, env, rt):
+            return eval_expr(expr.then, env, rt)
+        return eval_expr(expr.els, env, rt)
+    if isinstance(expr, A.BinOp):
+        return _eval_binop(expr, env, rt)
+    if isinstance(expr, A.UnOp):
+        value = eval_expr(expr.expr, env, rt)
+        return (not value) if expr.op == "not" else (-value)
+    if isinstance(expr, A.Call):
+        return _eval_call(expr, env, rt)
+    if isinstance(expr, A.ListLit):
+        return [eval_expr(e, env, rt) for e in expr.items]
+    if isinstance(expr, A.Index):
+        base = eval_expr(expr.expr, env, rt)
+        for ix in expr.indices:
+            base = base[eval_expr(ix, env, rt)]
+        return base
+    if isinstance(expr, A.Comprehension):
+        return _eval_comprehension(expr, env, rt)
+    if isinstance(expr, A.Zero):
+        return expr.monoid.finalize(expr.monoid.zero())
+    if isinstance(expr, A.Singleton):
+        return expr.monoid.finalize(expr.monoid.unit(eval_expr(expr.expr, env, rt)))
+    if isinstance(expr, A.Merge):
+        m = expr.monoid
+        left = eval_expr(expr.left, env, rt)
+        right = eval_expr(expr.right, env, rt)
+        return _merge_finalized(m, left, right)
+    if isinstance(expr, A.Lambda):
+        return lambda arg: eval_expr(expr.body, {**env, expr.param: arg}, rt)
+    if isinstance(expr, A.Apply):
+        fn = eval_expr(expr.func, env, rt)
+        return fn(eval_expr(expr.arg, env, rt))
+    raise ExecutionError(f"cannot interpret {type(expr).__name__}")
+
+
+def _merge_finalized(m: Monoid, left, right):
+    """Merge two already-finalized monoid values (top-level Merge nodes)."""
+    if m.collection or m.name in ("sum", "prod", "count", "any", "all"):
+        if m.name == "set":
+            out = m.zero()
+            for v in (list(left) + list(right)):
+                out = m.merge(out, m.lift(v))
+            return m.finalize(out)
+        if m.collection:
+            return list(left) + list(right)
+        return m.merge(left, right)
+    if m.name in ("max", "min"):
+        return m.merge(left, right)
+    raise ExecutionError(f"cannot merge finalized values of monoid {m.name!r}")
+
+
+def _eval_binop(expr: A.BinOp, env: Env, rt):
+    op = expr.op
+    if op == "and":
+        return bool(eval_expr(expr.left, env, rt)) and bool(eval_expr(expr.right, env, rt))
+    if op == "or":
+        return bool(eval_expr(expr.left, env, rt)) or bool(eval_expr(expr.right, env, rt))
+    left = eval_expr(expr.left, env, rt)
+    right = eval_expr(expr.right, env, rt)
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False
+        return {"<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right}[op]
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "%":
+        return left % right
+    if op == "in":
+        return left in right
+    if op == "like":
+        return like(left, right)
+    raise ExecutionError(f"unknown operator {op!r}")
+
+
+def _eval_call(expr: A.Call, env: Env, rt):
+    import math
+
+    args = [eval_expr(a, env, rt) for a in expr.args]
+    name = expr.name
+    helper_map = {
+        "lower": "_lower", "upper": "_upper", "len": "_len", "abs": "_abs",
+        "substr": "_substr", "contains": "_contains",
+        "startswith": "_startswith", "endswith": "_endswith",
+    }
+    if name in helper_map:
+        return HELPERS[helper_map[name]](*args)
+    plain = {"round": round, "float": float, "int": int, "str": str,
+             "sqrt": math.sqrt, "exp": math.exp, "log": math.log}
+    if name in plain:
+        return plain[name](*args)
+    raise ExecutionError(f"unknown builtin {name!r}")
+
+
+def _eval_comprehension(comp: A.Comprehension, env: Env, rt):
+    m = comp.monoid
+    acc = m.zero()
+    skip_null = m.name in _NUMERIC_SKIP_NULL
+
+    def rec(qualifiers: tuple, scope: Env):
+        nonlocal acc
+        if not qualifiers:
+            head = eval_expr(comp.head, scope, rt)
+            if skip_null and head is None:
+                return
+            acc = m.merge(acc, m.lift(head))
+            return
+        q = qualifiers[0]
+        rest = qualifiers[1:]
+        if isinstance(q, A.Generator):
+            if isinstance(q.source, A.Var) and q.source.name not in scope \
+                    and q.source.name in rt.catalog.names():
+                items = rt.iter_source(q.source.name)
+            else:
+                items = eval_expr(q.source, scope, rt) or ()
+            for item in items:
+                rec(rest, {**scope, q.var: item})
+        elif isinstance(q, A.Filter):
+            if eval_expr(q.pred, scope, rt):
+                rec(rest, scope)
+        elif isinstance(q, A.Bind):
+            rec(rest, {**scope, q.var: eval_expr(q.expr, scope, rt)})
+        else:
+            raise ExecutionError(f"unknown qualifier {type(q).__name__}")
+
+    rec(comp.qualifiers, env)
+    return m.finalize(acc)
+
+
+# ---------------------------------------------------------------------------
+# Plan interpreter (Volcano-style pull operators)
+# ---------------------------------------------------------------------------
+
+
+class StaticExecutor:
+    """Interprets physical plans with generic pull operators."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    def execute(self, plan: PhysReduce, rt):
+        m = plan.monoid
+        acc = m.zero()
+        skip_null = m.name in _NUMERIC_SKIP_NULL
+        for env in self._iter(plan.child, rt):
+            head = eval_expr(plan.head, env, rt)
+            if skip_null and head is None:
+                continue
+            if m.name == "count":
+                acc = m.merge(acc, 1)
+            else:
+                acc = m.merge(acc, m.lift(head))
+        return m.finalize(acc)
+
+    # -- operators ------------------------------------------------------------
+
+    def _iter(self, node: PhysNode, rt) -> Iterator[Env]:
+        if isinstance(node, PhysScan):
+            yield from self._scan(node, rt)
+        elif isinstance(node, PhysExprScan):
+            items = eval_expr(node.expr, {}, rt) or ()
+            for item in items:
+                env = {node.var: item}
+                if node.pred is None or eval_expr(node.pred, env, rt):
+                    yield env
+        elif isinstance(node, PhysFilter):
+            for env in self._iter(node.child, rt):
+                if eval_expr(node.pred, env, rt):
+                    yield env
+        elif isinstance(node, PhysHashJoin):
+            table: dict = {}
+            for env in self._iter(node.build, rt):
+                key = tuple(hashable(eval_expr(k, env, rt)) for k in node.build_keys)
+                table.setdefault(key, []).append(env)
+            for env in self._iter(node.probe, rt):
+                key = tuple(hashable(eval_expr(k, env, rt)) for k in node.probe_keys)
+                for build_env in table.get(key, ()):
+                    joined = {**build_env, **env}
+                    if node.residual is None or eval_expr(node.residual, joined, rt):
+                        yield joined
+        elif isinstance(node, PhysNLJoin):
+            inner_rows = list(self._iter(node.inner, rt))
+            for outer_env in self._iter(node.outer, rt):
+                for inner_env in inner_rows:
+                    joined = {**outer_env, **inner_env}
+                    if node.pred is None or eval_expr(node.pred, joined, rt):
+                        yield joined
+        elif isinstance(node, PhysUnnest):
+            for env in self._iter(node.child, rt):
+                items = eval_expr(node.path, env, rt) or ()
+                for item in items:
+                    child_env = {**env, node.var: item}
+                    if node.pred is None or eval_expr(node.pred, child_env, rt):
+                        yield child_env
+        elif isinstance(node, PhysNest):
+            groups: dict = {}
+            m = node.monoid
+            for env in self._iter(node.child, rt):
+                key = tuple(hashable(eval_expr(e, env, rt)) for _n, e in node.keys)
+                raw_key = tuple(eval_expr(e, env, rt) for _n, e in node.keys)
+                acc, _raw = groups.get(key, (m.zero(), raw_key))
+                groups[key] = (m.merge(acc, m.lift(eval_expr(node.head, env, rt))), raw_key)
+            for _key, (acc, raw_key) in groups.items():
+                record = {name: raw_key[i] for i, (name, _e) in enumerate(node.keys)}
+                record[node.agg_name] = m.finalize(acc)
+                yield {node.group_var: record}
+        elif isinstance(node, PhysReduce):
+            raise ExecutionError("nested PhysReduce is not a streaming operator")
+        else:
+            raise ExecutionError(f"cannot interpret {type(node).__name__}")
+
+    def _scan(self, node: PhysScan, rt) -> Iterator[Env]:
+        entry = self.catalog.get(node.source)
+        fmt = entry.format
+
+        def emit(value) -> Iterator[Env]:
+            env = {node.var: value}
+            if node.pred is None or eval_expr(node.pred, env, rt):
+                yield env
+
+        if node.access == "memory" or entry.data is not None:
+            for item in rt.memory(node.source):
+                yield from emit(item)
+            return
+        if node.access == "cache":
+            if node.bind_whole or not node.fields:
+                data, _layout = rt.cache_data(node.source, (), whole=True)
+                for obj in data:
+                    yield from emit(obj)
+                return
+            cols, _layout = rt.cache_data(node.source, node.fields, whole=False)
+            for values in zip(*cols) if len(cols) > 1 else ((v,) for v in cols[0]):
+                record = _record_from_paths(node.fields, values)
+                yield from emit(record)
+            return
+        if fmt == "csv":
+            plugin = entry.plugin
+            populate: list[list] = [[] for _ in node.populate]
+            fields = None if node.bind_whole else list(node.fields)
+            names = plugin.columns if fields is None else fields
+            rt.stats.raw_sources.add(node.source)
+            import os
+
+            rt.stats.raw_bytes += os.path.getsize(plugin.path)
+            count = 0
+            for tup in plugin.scan(fields, device=rt.device_for(node.source),
+                                   clean=rt.cleaning.get(node.source)):
+                count += 1
+                record = dict(zip(names, tup))
+                if node.populate:
+                    for i, f in enumerate(node.populate):
+                        populate[i].append(record.get(f))
+                yield from emit(record)
+            rt.stats.raw_rows += count
+            if node.populate:
+                rt.admit_columns(node.source, node.populate, tuple(populate))
+            return
+        if fmt == "json":
+            populate = [[] for _ in node.populate]
+            whole_pop: list = []
+            count = 0
+            for obj in rt.json_objects(node.source):
+                count += 1
+                if node.populate == ("*",):
+                    whole_pop.append(obj)
+                else:
+                    for i, f in enumerate(node.populate):
+                        populate[i].append(get_path(obj, tuple(f.split("."))))
+                yield from emit(obj)
+            if node.populate == ("*",):
+                rt.admit_elements(node.source, node.populate_layout, whole_pop)
+            elif node.populate:
+                rt.admit_columns(node.source, node.populate, tuple(populate))
+            return
+        if fmt == "array":
+            plugin = entry.plugin
+            names = list(plugin.dim_names) + [n for n, _t in plugin.header.fields]
+            populate = [[] for _ in node.populate]
+            for tup in rt.array_scan(node.source):
+                record = dict(zip(names, tup))
+                for i, f in enumerate(node.populate):
+                    populate[i].append(record.get(f))
+                yield from emit(record)
+            if node.populate:
+                rt.admit_columns(node.source, node.populate, tuple(populate))
+            return
+        if fmt == "xls":
+            sheet = entry.description.options.get("sheet")
+            columns = entry.plugin.sheets[sheet].columns
+            fields = tuple(node.fields) if node.fields and not node.bind_whole else tuple(columns)
+            populate = [[] for _ in node.populate]
+            for tup in rt.xls_rows(node.source, fields):
+                record = dict(zip(fields, tup))
+                for i, f in enumerate(node.populate):
+                    populate[i].append(record.get(f))
+                yield from emit(record)
+            if node.populate:
+                rt.admit_columns(node.source, node.populate, tuple(populate))
+            return
+        if fmt == "dbms":
+            from ...warehouse.docstore import DocStore
+
+            fields: tuple = ()
+            if not node.bind_whole and not isinstance(entry.plugin.store, DocStore):
+                fields = tuple(node.fields)
+            for record in rt.dbms_rows(node.source, fields, node.index_eq):
+                yield from emit(record)
+            return
+        raise ExecutionError(f"no interpreted scan for format {fmt!r}")
+
+
+def _record_from_paths(paths: tuple, values: tuple) -> dict:
+    """Rebuild a nested record from dotted paths (cache-served scans)."""
+    record: dict = {}
+    for path, value in zip(paths, values):
+        steps = path.split(".")
+        target = record
+        for step in steps[:-1]:
+            target = target.setdefault(step, {})
+        target[steps[-1]] = value
+    return record

@@ -1,0 +1,7 @@
+"""The ViDa optimizer: raw-data-aware physical planning + cost model."""
+
+from .cost import access_factor, estimate_scan, predicate_selectivity, source_row_estimate
+from .planner import PlanDecisions, Planner
+
+__all__ = ["PlanDecisions", "Planner", "access_factor", "estimate_scan",
+           "predicate_selectivity", "source_row_estimate"]

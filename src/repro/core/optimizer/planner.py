@@ -1,0 +1,465 @@
+"""Physical planner: logical algebra → physical plan (paper §5).
+
+Decisions made here, all specific to querying *raw* data:
+
+1. **Access-path selection per source** — serve from ViDa's cache when a
+   cached entry covers the needed fields; otherwise scan raw, navigating
+   with the positional map / semi-index when one exists ("warm"), else a
+   cold scan that builds it ("the optimizer invokes the appropriate wrapper,
+   which takes into account any auxiliary structures present and normalizes
+   access costs").
+2. **Projection pushdown into the raw parser** — each scan extracts only the
+   attribute paths the query touches, because for raw formats every fetched
+   attribute has a real tokenize/parse/convert cost (§5).
+3. **Cache population** — cold/warm scans piggyback columnar materialisation
+   of the extracted scalar fields; whole nested objects are admitted in the
+   layout the admission policy picks (objects/BSON), or not at all when
+   they would pollute the cache (§5).
+4. **Join order and algorithm** — greedy cheapest-first ordering using the
+   per-format wrapper cost estimates; equi-predicates become hash joins
+   (build side = smaller estimated input), everything else nested loops.
+5. **Predicate placement** — single-source conjuncts are pushed into the
+   scan loop; join-pair equalities become hash keys; the rest evaluate as
+   residual filters at the earliest point all their variables are bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...caching import DataCache
+from ...caching.policy import DEFAULT_POLICY, AdmissionPolicy
+from ...errors import PlanningError
+from ...mcc import ast as A
+from ...mcc.algebra import (
+    AlgNode,
+    ExprScanOp,
+    JoinOp,
+    NestOp,
+    ReduceOp,
+    ScanOp,
+    SelectOp,
+    UnnestOp,
+)
+from ..physical import (
+    PhysExprScan,
+    PhysFilter,
+    PhysHashJoin,
+    PhysNest,
+    PhysNLJoin,
+    PhysNode,
+    PhysReduce,
+    PhysScan,
+    VarUsage,
+    collect_usage,
+)
+from . import cost as C
+
+
+@dataclass
+class PlanDecisions:
+    """A record of the optimizer's raw-data-aware choices (for EXPLAIN/tests)."""
+
+    access: dict[str, str] = field(default_factory=dict)       # var → access path
+    join_order: list[str] = field(default_factory=list)         # vars, build→probe
+    populate: dict[str, tuple] = field(default_factory=dict)    # var → cached fields
+    cache_served: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [f"{v}:{a}" for v, a in self.access.items()]
+        out = (
+            f"access[{', '.join(parts)}] order[{' -> '.join(self.join_order)}]"
+            + (" cache-served" if self.cache_served else "")
+        )
+        for note in self.notes:
+            out += f"\n  note: {note}"
+        return out
+
+
+@dataclass
+class _Unit:
+    """One plan building block: a scan-like leaf or a dependent unnest."""
+
+    kind: str            # scan | expr | unnest | nest
+    var: str
+    node: AlgNode
+    deps: frozenset = frozenset()
+    pushed: list = field(default_factory=list)
+    est_rows: float = 1000.0
+    est_cost: float = 1000.0
+    access: str = "cold"
+    fields: tuple = ()
+    whole: bool = False
+    populate: tuple = ()
+    populate_layout: str = "columns"
+
+
+class Planner:
+    def __init__(
+        self,
+        catalog,
+        cache: DataCache | None = None,
+        policy: AdmissionPolicy | None = None,
+        enable_cache: bool = True,
+        enable_posmap: bool = True,
+    ):
+        self.catalog = catalog
+        self.cache = cache if cache is not None else DataCache()
+        self.policy = policy or DEFAULT_POLICY
+        self.enable_cache = enable_cache
+        self.enable_posmap = enable_posmap
+
+    # -- public -----------------------------------------------------------
+
+    def plan(self, root: ReduceOp) -> tuple[PhysReduce, PlanDecisions]:
+        decisions = PlanDecisions()
+        child = self._plan_subtree(root.child, decisions, extra_exprs=[root.head])
+        plan = PhysReduce(child, root.monoid, root.head)
+        decisions.cache_served = all(
+            a in ("cache", "memory") for a in decisions.access.values()
+        ) and bool(decisions.access)
+        return plan, decisions
+
+    # -- flattening -----------------------------------------------------------
+
+    def _flatten(self, node: AlgNode, units: list[_Unit], preds: list[A.Expr],
+                 decisions: PlanDecisions) -> None:
+        if isinstance(node, SelectOp):
+            self._flatten(node.child, units, preds, decisions)
+            preds.extend(A.conjuncts(node.pred))
+        elif isinstance(node, JoinOp):
+            self._flatten(node.left, units, preds, decisions)
+            self._flatten(node.right, units, preds, decisions)
+            if not (isinstance(node.pred, A.Const) and node.pred.value is True):
+                preds.extend(A.conjuncts(node.pred))
+        elif isinstance(node, ScanOp):
+            units.append(_Unit("scan", node.var, node))
+        elif isinstance(node, ExprScanOp):
+            units.append(_Unit("expr", node.var, node))
+        elif isinstance(node, UnnestOp):
+            self._flatten(node.child, units, preds, decisions)
+            unit_vars = {u.var for u in units}
+            deps = frozenset(A.free_vars(node.path) & unit_vars)
+            units.append(_Unit("unnest", node.var, node, deps=deps))
+        elif isinstance(node, NestOp):
+            units.append(_Unit("nest", node.group_var, node))
+        else:
+            raise PlanningError(f"cannot plan algebra node {type(node).__name__}")
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan_subtree(self, node: AlgNode, decisions: PlanDecisions,
+                      extra_exprs: list[A.Expr]) -> PhysNode:
+        units: list[_Unit] = []
+        preds: list[A.Expr] = []
+        self._flatten(node, units, preds, decisions)
+        unit_by_var = {u.var: u for u in units}
+        unit_vars = set(unit_by_var)
+
+        # usage analysis across every expression in the (sub)query
+        usage: dict[str, VarUsage] = {}
+        for p in preds:
+            collect_usage(p, usage)
+        for e in extra_exprs:
+            collect_usage(e, usage)
+        for u in units:
+            if u.kind == "unnest":
+                collect_usage(u.node.path, usage)
+            if u.kind == "nest":
+                for _n, e in u.node.keys:
+                    collect_usage(e, usage)
+                collect_usage(u.node.head, usage)
+
+        # classify predicates
+        equi: list[tuple[str, str, A.Expr, A.Expr]] = []
+        residual: list[A.Expr] = []
+        for p in preds:
+            vars_used = A.free_vars(p) & unit_vars
+            if len(vars_used) == 1:
+                unit_by_var[next(iter(vars_used))].pushed.append(p)
+            elif len(vars_used) == 2 and isinstance(p, A.BinOp) and p.op == "=":
+                lvars = A.free_vars(p.left) & unit_vars
+                rvars = A.free_vars(p.right) & unit_vars
+                if len(lvars) == 1 and len(rvars) == 1 and lvars != rvars:
+                    equi.append((next(iter(lvars)), next(iter(rvars)), p.left, p.right))
+                else:
+                    residual.append(p)
+            else:
+                residual.append(p)
+
+        # per-unit physical configuration + estimates
+        for u in units:
+            self._configure_unit(u, usage, decisions)
+
+        ordered = self._order_units(units, equi)
+        decisions.join_order.extend(u.var for u in ordered)
+
+        return self._build_tree(ordered, unit_by_var, equi, residual, decisions,
+                                extra_exprs)
+
+    def _configure_unit(self, u: _Unit, usage: dict[str, VarUsage],
+                        decisions: PlanDecisions) -> None:
+        use = usage.get(u.var, VarUsage())
+        if u.kind == "expr":
+            u.est_rows, u.est_cost, u.access = 10.0, 10.0, "memory"
+            return
+        if u.kind == "unnest":
+            u.est_rows, u.est_cost, u.access = 10.0, 1.0, "memory"
+            return
+        if u.kind == "nest":
+            u.est_rows, u.est_cost, u.access = 100.0, 500.0, "memory"
+            return
+
+        entry = self.catalog.get(u.node.source)
+        fmt = entry.format
+        u.whole = use.whole
+        if fmt == "json":
+            u.fields = use.dotted_paths()
+        else:
+            u.fields = use.top_fields()
+
+        rows = C.source_row_estimate(entry)
+        if entry.data is not None or fmt == "memory":
+            u.access = "memory"
+        elif fmt == "dbms":
+            u.access = "warm"  # loaded store; cost-modelled as const_cost
+        elif self.enable_cache and self._cache_covers(entry.name, u):
+            u.access = "cache"
+        elif fmt == "csv":
+            posmap_ready = entry.plugin.posmap.complete and self.enable_posmap
+            u.access = "warm" if posmap_ready else "cold"
+        elif fmt == "json":
+            u.access = "warm" if entry.plugin.has_semi_index() else "cold"
+        else:
+            u.access = "cold"
+
+        if u.access in ("cold", "warm") and self.enable_cache:
+            self._choose_population(u, entry)
+
+        cost_fmt = "cache" if u.access == "cache" else (
+            "memory" if u.access == "memory" else fmt
+        )
+        est = C.estimate_scan(cost_fmt, u.access, rows, len(u.fields) or 1, u.pushed)
+        u.est_rows = max(1.0, est.output_rows)
+        u.est_cost = est.total_cost
+        decisions.access[u.var] = u.access
+
+    def _cache_covers(self, source: str, u: _Unit) -> bool:
+        if u.whole:
+            return self.cache.peek(source, [], whole=True)
+        if not u.fields:
+            return False
+        return self.cache.peek(source, list(u.fields))
+
+    def _choose_population(self, u: _Unit, entry) -> None:
+        fmt = entry.format
+        if fmt == "json":
+            if u.whole:
+                # whole objects: layout by expected element size
+                size = _avg_json_object_bytes(entry)
+                layout = self.policy.nested_layout(size)
+                if layout == "positions":
+                    return  # pollution avoidance: don't cache parsed objects
+                u.populate = ("*",)
+                u.populate_layout = layout
+            elif u.fields:
+                u.populate = u.fields
+                u.populate_layout = "columns"
+        elif fmt in ("csv", "array", "xls"):
+            if u.fields:
+                u.populate = u.fields
+                u.populate_layout = "columns"
+
+    def _order_units(self, units: list[_Unit], equi) -> list[_Unit]:
+        """Greedy cheapest-first join ordering respecting unnest dependencies."""
+        connected: dict[str, set[str]] = {}
+        for v1, v2, _e1, _e2 in equi:
+            connected.setdefault(v1, set()).add(v2)
+            connected.setdefault(v2, set()).add(v1)
+
+        remaining = list(units)
+        ordered: list[_Unit] = []
+        bound: set[str] = set()
+
+        def ready(u: _Unit) -> bool:
+            return u.deps <= bound
+
+        while remaining:
+            candidates = [u for u in remaining if ready(u)]
+            if not candidates:
+                raise PlanningError(
+                    "circular unnest dependencies in plan: "
+                    + ", ".join(u.var for u in remaining)
+                )
+            if not ordered:
+                pick = min(candidates, key=lambda u: (u.est_cost, u.var))
+            else:
+                joinable = [
+                    u for u in candidates
+                    if u.kind == "unnest" or (connected.get(u.var, set()) & bound)
+                ]
+                pool = joinable or candidates
+                # dependent unnests first (they're free), then smallest output
+                pick = min(
+                    pool,
+                    key=lambda u: (0 if u.kind == "unnest" else 1, u.est_rows, u.var),
+                )
+            ordered.append(pick)
+            remaining.remove(pick)
+            bound.add(pick.var)
+        return ordered
+
+    # -- tree construction -----------------------------------------------------------
+
+    def _leaf_plan(self, u: _Unit, decisions: PlanDecisions) -> PhysNode:
+        pred = A.make_conjunction(u.pushed) if u.pushed else None
+        if pred is not None and isinstance(pred, A.Const) and pred.value is True:
+            pred = None
+        if u.kind == "scan":
+            entry = self.catalog.get(u.node.source)
+            if u.populate:
+                decisions.populate[u.var] = u.populate
+            index_eq = None
+            if entry.format == "dbms":
+                index_eq = self._index_pushdown(u, entry, decisions)
+            return PhysScan(
+                source=u.node.source, var=u.var, format=entry.format,
+                fields=u.fields, access=u.access, bind_whole=u.whole,
+                populate=u.populate, populate_layout=u.populate_layout,
+                pred=pred, index_eq=index_eq,
+            )
+        if u.kind == "expr":
+            return PhysExprScan(u.node.expr, u.var, pred=pred)
+        if u.kind == "nest":
+            nest: NestOp = u.node
+            sub = self._plan_subtree(
+                nest.child, decisions,
+                extra_exprs=[e for _n, e in nest.keys] + [nest.head],
+            )
+            phys = PhysNest(sub, nest.keys, nest.monoid, nest.head, nest.group_var)
+            if pred is not None:
+                return PhysFilter(phys, pred)
+            return phys
+        raise PlanningError(f"unexpected leaf kind {u.kind!r}")
+
+    def _index_pushdown(self, u: _Unit, entry, decisions: PlanDecisions):
+        """Use a store index for an equality conjunct on an indexed field.
+
+        "ViDa's access paths can utilize existing indexes to speed-up
+        queries to this data source" (§2.1). The matched conjunct stays in
+        the scan predicate as a cheap recheck.
+        """
+        indexed = set(entry.plugin.indexed_fields())
+        if not indexed:
+            return None
+        for p in u.pushed:
+            if not (isinstance(p, A.BinOp) and p.op == "="):
+                continue
+            sides = [(p.left, p.right), (p.right, p.left)]
+            for field_side, const_side in sides:
+                if not isinstance(const_side, A.Const):
+                    continue
+                if isinstance(field_side, A.Proj) and \
+                        isinstance(field_side.expr, A.Var) and \
+                        field_side.expr.name == u.var and \
+                        field_side.attr in indexed:
+                    decisions.notes.append(
+                        f"index lookup on {entry.name}.{field_side.attr}"
+                    )
+                    return (field_side.attr, const_side.value)
+        return None
+
+    def _build_tree(self, ordered, unit_by_var, equi, residual, decisions,
+                    extra_exprs) -> PhysNode:
+        from ..physical import PhysUnnest
+
+        plan: PhysNode | None = None
+        bound: set[str] = set()
+        plan_rows = 1.0
+        pending_residual = list(residual)
+
+        def attach_residuals() -> None:
+            nonlocal plan
+            still: list[A.Expr] = []
+            for p in pending_residual:
+                vars_used = A.free_vars(p) & set(unit_by_var)
+                if vars_used <= bound and plan is not None:
+                    plan = PhysFilter(plan, p)
+                else:
+                    still.append(p)
+            pending_residual[:] = still
+
+        for u in ordered:
+            if u.kind == "unnest":
+                pred = A.make_conjunction(u.pushed) if u.pushed else None
+                if plan is None:
+                    raise PlanningError(f"unnest {u.var!r} has no parent plan")
+                plan = PhysUnnest(plan, u.node.path, u.var, pred=pred)
+                bound.add(u.var)
+                plan_rows *= 5.0
+                attach_residuals()
+                continue
+
+            leaf = self._leaf_plan(u, decisions)
+            if plan is None:
+                plan = leaf
+                plan_rows = u.est_rows
+                bound.add(u.var)
+                attach_residuals()
+                continue
+
+            join_preds = [
+                (v1, v2, e1, e2) for (v1, v2, e1, e2) in equi
+                if (v1 in bound and v2 == u.var) or (v2 in bound and v1 == u.var)
+            ]
+            if join_preds:
+                plan_keys: list[A.Expr] = []
+                unit_keys: list[A.Expr] = []
+                for v1, v2, e1, e2 in join_preds:
+                    if v1 in bound:
+                        plan_keys.append(e1)
+                        unit_keys.append(e2)
+                    else:
+                        plan_keys.append(e2)
+                        unit_keys.append(e1)
+                if u.est_rows <= plan_rows:
+                    plan = PhysHashJoin(
+                        build=leaf, probe=plan,
+                        build_keys=tuple(unit_keys), probe_keys=tuple(plan_keys),
+                    )
+                else:
+                    plan = PhysHashJoin(
+                        build=plan, probe=leaf,
+                        build_keys=tuple(plan_keys), probe_keys=tuple(unit_keys),
+                    )
+                plan_rows = min(plan_rows, u.est_rows) * 2.0
+            else:
+                plan = PhysNLJoin(outer=plan, inner=leaf, pred=None)
+                plan_rows = plan_rows * u.est_rows
+                decisions.notes.append(f"cross join with {u.var}")
+            bound.add(u.var)
+            attach_residuals()
+
+        if plan is None:
+            raise PlanningError("empty plan: no generators")
+        if pending_residual:
+            for p in pending_residual:
+                plan = PhysFilter(plan, p)
+        return plan
+
+
+def _avg_json_object_bytes(entry) -> float:
+    """Rough average top-level object size (file bytes / object count)."""
+    import os
+
+    plugin = entry.plugin
+    try:
+        size = os.path.getsize(plugin.path)
+    except OSError:
+        return 1024.0
+    if plugin.has_semi_index():
+        count = plugin.object_count() or 1
+    else:
+        count = max(1, size // 200)
+    return size / count

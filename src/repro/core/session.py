@@ -1,0 +1,293 @@
+"""The ViDa session: the library's main entry point.
+
+"Data analysts build databases by launching queries, instead of building
+databases to launch queries" (paper §1.2). A :class:`ViDa` session is such a
+just-in-time database: register raw files (no loading, no transformation),
+then query them in comprehension syntax or SQL. Auxiliary structures
+(positional maps, semi-indexes) and data caches build themselves as a side
+effect of query execution and amortise across the workload.
+
+Example::
+
+    from repro import ViDa
+
+    db = ViDa()
+    db.register_csv("Patients", "patients.csv")
+    db.register_json("BrainRegions", "brainregions.json")
+    result = db.query('''
+        for { p <- Patients, b <- BrainRegions, p.id = b.id, p.age > 60 }
+        yield bag (id := p.id, vol := b.volume)
+    ''')
+    print(result.value, result.stats.cache_only)
+"""
+
+from __future__ import annotations
+
+import json as _json
+import time
+from dataclasses import dataclass, field
+
+from ..caching import AdmissionPolicy, DataCache
+from ..errors import ViDaError
+from ..formats.jsonfmt import bson as _bson
+from ..mcc import ast as A
+from ..mcc.algebra import explain as explain_algebra
+from ..mcc.normalize import normalize
+from ..mcc.parser import parse
+from ..mcc.translate import referenced_sources, translate
+from ..mcc.typecheck import typecheck
+from .catalog import Catalog
+from .executor.engine import JITExecutor
+from .executor.runtime import QueryRuntime
+from .executor.static_engine import StaticExecutor, eval_expr
+from .optimizer.planner import PlanDecisions, Planner
+from .physical import explain_physical
+
+
+@dataclass
+class QueryStats:
+    """Timing and execution statistics of one query."""
+
+    parse_ms: float = 0.0
+    typecheck_ms: float = 0.0
+    normalize_ms: float = 0.0
+    plan_ms: float = 0.0
+    codegen_ms: float = 0.0
+    execute_ms: float = 0.0
+    total_ms: float = 0.0
+    engine: str = "jit"
+    raw_rows: int = 0
+    cache_rows: int = 0
+    raw_bytes: int = 0
+    cache_only: bool = False
+    cleaned_rows: int = 0
+    skipped_rows: int = 0
+
+
+@dataclass
+class QueryResult:
+    """Query output plus everything needed to understand how it ran."""
+
+    value: object
+    stats: QueryStats
+    decisions: PlanDecisions | None = None
+    plan_text: str = ""
+    code: str = ""
+
+    def __iter__(self):
+        if isinstance(self.value, list):
+            return iter(self.value)
+        raise TypeError("scalar query result is not iterable")
+
+
+class ViDa:
+    """A just-in-time virtual database over raw files."""
+
+    def __init__(
+        self,
+        cache_budget_bytes: int = 256 << 20,
+        admission_policy: AdmissionPolicy | None = None,
+        default_engine: str = "jit",
+        enable_cache: bool = True,
+        enable_posmap: bool = True,
+    ):
+        if default_engine not in ("jit", "static"):
+            raise ViDaError(f"unknown engine {default_engine!r} (jit | static)")
+        self.catalog = Catalog()
+        self.cache = DataCache(cache_budget_bytes, admission_policy)
+        self.default_engine = default_engine
+        self.enable_cache = enable_cache
+        self.enable_posmap = enable_posmap
+        self.cleaning: dict[str, object] = {}
+        self.devices: dict[str, object] = {}
+        self._jit = JITExecutor(self.catalog)
+        self._static = StaticExecutor(self.catalog)
+        self.query_log: list[QueryStats] = []
+
+    # -- registration (delegates to the catalog) ------------------------------
+
+    def register_csv(self, name, path, **kwargs):
+        return self.catalog.register_csv(name, path, **kwargs)
+
+    def register_json(self, name, path):
+        return self.catalog.register_json(name, path)
+
+    def register_array(self, name, path, dim_names=None):
+        return self.catalog.register_array(name, path, dim_names)
+
+    def register_xls(self, name, path, sheet=None):
+        return self.catalog.register_xls(name, path, sheet)
+
+    def register_memory(self, name, data, elem_type=None):
+        return self.catalog.register_memory(name, data, elem_type)
+
+    def register_dbms(self, name, store, table):
+        return self.catalog.register_dbms(name, store, table)
+
+    def register_auto(self, name, path):
+        return self.catalog.register_auto(name, path)
+
+    def set_cleaning(self, source: str, policy) -> None:
+        """Attach a scan-time cleaning policy to a source (paper §7)."""
+        self.catalog.get(source)  # validate
+        self.cleaning[source] = policy
+
+    def set_device(self, source: str, device) -> None:
+        """Charge raw accesses of ``source`` to a simulated device ('*' = all)."""
+        self.devices[source] = device
+
+    # -- querying -----------------------------------------------------------
+
+    def query(
+        self,
+        text_or_expr,
+        engine: str | None = None,
+        output: str = "python",
+    ) -> QueryResult:
+        """Run a comprehension-syntax query (or a pre-built AST).
+
+        ``engine`` overrides the session default ('jit' or 'static');
+        ``output`` shapes collection results: python | records | tuples |
+        columns | json | bson.
+        """
+        engine = engine or self.default_engine
+        stats = QueryStats(engine=engine)
+        t_start = time.perf_counter()
+
+        t0 = time.perf_counter()
+        expr = parse(text_or_expr) if isinstance(text_or_expr, str) else text_or_expr
+        stats.parse_ms = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        typecheck(expr, self.catalog.type_env())
+        stats.typecheck_ms = (time.perf_counter() - t0) * 1e3
+
+        t0 = time.perf_counter()
+        norm = normalize(expr)
+        stats.normalize_ms = (time.perf_counter() - t0) * 1e3
+
+        # freshness: in-place updates drop auxiliary structures + cache entries
+        for src in referenced_sources(norm, self.catalog.names()):
+            if not self.catalog.check_freshness(src):
+                self.cache.invalidate_source(src)
+
+        runtime = QueryRuntime(self.catalog, self.cache if self.enable_cache
+                               else DataCache(0), self.cleaning, self.devices)
+
+        if not isinstance(norm, A.Comprehension):
+            # Merge-of-comprehensions / constant expressions: interpret.
+            t0 = time.perf_counter()
+            value = eval_expr(norm, {}, runtime)
+            stats.execute_ms = (time.perf_counter() - t0) * 1e3
+            stats.total_ms = (time.perf_counter() - t_start) * 1e3
+            self._fill_exec_stats(stats, runtime)
+            self.query_log.append(stats)
+            return QueryResult(self._shape_output(value, output), stats)
+
+        t0 = time.perf_counter()
+        algebra = translate(norm, self.catalog.names())
+        planner = Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
+                          enable_posmap=self.enable_posmap)
+        plan, decisions = planner.plan(algebra)
+        stats.plan_ms = (time.perf_counter() - t0) * 1e3
+
+        code = ""
+        t0 = time.perf_counter()
+        if engine == "jit":
+            compiled = self._jit.compile(plan)
+            code = compiled.source
+            stats.codegen_ms = (time.perf_counter() - t0) * 1e3
+            t0 = time.perf_counter()
+            value = compiled(runtime)
+        else:
+            value = self._static.execute(plan, runtime)
+        stats.execute_ms = (time.perf_counter() - t0) * 1e3
+        stats.total_ms = (time.perf_counter() - t_start) * 1e3
+        self._fill_exec_stats(stats, runtime)
+        self.query_log.append(stats)
+
+        return QueryResult(
+            self._shape_output(value, output), stats, decisions,
+            explain_physical(plan), code,
+        )
+
+    def explain(self, text_or_expr) -> str:
+        """Logical + physical EXPLAIN of a query, without running it."""
+        expr = parse(text_or_expr) if isinstance(text_or_expr, str) else text_or_expr
+        typecheck(expr, self.catalog.type_env())
+        norm = normalize(expr)
+        if not isinstance(norm, A.Comprehension):
+            from ..mcc.pretty import pretty
+
+            return f"InterpretedExpression[{pretty(norm)}]"
+        algebra = translate(norm, self.catalog.names())
+        planner = Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
+                          enable_posmap=self.enable_posmap)
+        plan, decisions = planner.plan(algebra)
+        return (
+            "== logical ==\n" + explain_algebra(algebra)
+            + "\n== physical ==\n" + explain_physical(plan)
+            + "\n== decisions ==\n" + decisions.summary()
+        )
+
+    def path(self, query: str, engine: str | None = None,
+             output: str = "python") -> QueryResult:
+        """Run a PathQL (XPath-flavoured) query over registered sources."""
+        from ..languages.pathql import translate_path
+
+        expr = translate_path(query, self.catalog)
+        return self.query(expr, engine=engine, output=output)
+
+    def sql(self, statement: str, engine: str | None = None,
+            output: str = "python") -> QueryResult:
+        """Run a SQL query by translation to the comprehension calculus."""
+        from ..languages.sql import parse_sql, translate_sql
+
+        stmt = parse_sql(statement)
+        expr = translate_sql(stmt, self.catalog)
+        result = self.query(expr, engine=engine, output=output)
+        if stmt.limit is not None and isinstance(result.value, list):
+            result.value = result.value[: stmt.limit]
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _fill_exec_stats(self, stats: QueryStats, runtime: QueryRuntime) -> None:
+        es = runtime.stats
+        stats.raw_rows = es.raw_rows
+        stats.cache_rows = es.cache_rows
+        stats.raw_bytes = es.raw_bytes
+        stats.cache_only = es.cache_only
+        stats.cleaned_rows = es.cleaned_rows
+        stats.skipped_rows = es.skipped_rows
+
+    @staticmethod
+    def _shape_output(value, output: str):
+        """Re-shape a collection result ("virtualize" it, paper §3.2)."""
+        if output == "python" or not isinstance(value, list):
+            return value
+        if output == "records":
+            return [v if isinstance(v, dict) else {"value": v} for v in value]
+        if output == "tuples":
+            return [tuple(v.values()) if isinstance(v, dict) else (v,) for v in value]
+        if output == "columns":
+            if not value:
+                return {}
+            if not isinstance(value[0], dict):
+                return {"value": list(value)}
+            return {k: [row.get(k) for row in value] for k in value[0]}
+        if output == "json":
+            return "\n".join(_json.dumps(v, default=str) for v in value)
+        if output == "bson":
+            return [_bson.encode(v if isinstance(v, dict) else {"value": v})
+                    for v in value]
+        raise ViDaError(f"unknown output shape {output!r}")
+
+    # -- workload-level reporting ---------------------------------------------
+
+    def cache_hit_ratio(self) -> float:
+        """Fraction of logged queries answered without touching raw files."""
+        if not self.query_log:
+            return 0.0
+        served = sum(1 for s in self.query_log if s.cache_only)
+        return served / len(self.query_log)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ViDa reproduction.
+
+Every error raised by the library derives from :class:`ViDaError` so callers
+can catch a single base class. Subclasses mirror the pipeline stages: parsing,
+typing, planning, code generation, execution, and raw-data access.
+"""
+
+from __future__ import annotations
+
+
+class ViDaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ViDaError):
+    """Raised when query text or a source description cannot be parsed.
+
+    Carries optional ``line``/``column`` attributes (1-based) pointing at the
+    offending token when the parser knows them.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(ViDaError):
+    """Raised when a query does not type-check against the catalog schemas."""
+
+
+class CatalogError(ViDaError):
+    """Raised for unknown sources, duplicate registrations, or bad descriptions."""
+
+
+class PlanningError(ViDaError):
+    """Raised when the optimizer cannot produce a physical plan for a query."""
+
+
+class CodegenError(ViDaError):
+    """Raised when the JIT compiler cannot generate code for a plan node."""
+
+
+class ExecutionError(ViDaError):
+    """Raised when a generated or interpreted query fails at run time."""
+
+
+class DataFormatError(ViDaError):
+    """Raised when a raw file violates its registered format description."""
+
+
+class CleaningError(DataFormatError):
+    """Raised by the 'raise' cleaning policy when a dirty value is encountered."""
+
+    def __init__(self, message: str, row: int | None = None, field: str | None = None):
+        where = ""
+        if row is not None:
+            where = f" (row {row}" + (f", field {field!r}" if field else "") + ")"
+        super().__init__(message + where)
+        self.row = row
+        self.field = field
+
+
+class StorageError(ViDaError):
+    """Raised by the storage substrate (pages, buffer pool, devices)."""
+
+
+class WarehouseError(ViDaError):
+    """Raised by the baseline warehouse engines (row/column/document store)."""

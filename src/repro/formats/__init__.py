@@ -1,0 +1,19 @@
+"""Raw-format substrates: one subpackage per file format, each exposing a
+ViDa *input plugin* (paper Figure 3), plus the source-description grammar
+and schema learning for unknown files.
+"""
+
+from .arrayfmt import ArraySource, write_array
+from .csvfmt import CSVOptions, CSVSource, PositionalMap, write_csv
+from .descriptions import SourceDescription, describe_type, parse_description
+from .inference import detect_format, learn_description, sniff_delimiter
+from .jsonfmt import JSONSemiIndex, JSONSource, ObjectSpan, bson, get_path
+from .xlsfmt import XLSSource, write_workbook
+
+__all__ = [
+    "ArraySource", "CSVOptions", "CSVSource", "JSONSemiIndex", "JSONSource",
+    "ObjectSpan", "PositionalMap", "SourceDescription", "bson",
+    "describe_type", "detect_format", "get_path", "learn_description",
+    "parse_description", "sniff_delimiter", "write_array", "write_csv",
+    "write_workbook",
+]

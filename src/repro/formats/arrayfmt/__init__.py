@@ -1,0 +1,5 @@
+"""Binary array (ROOT/FITS/NetCDF-like) raw-format substrate."""
+
+from .plugin import ArrayHeader, ArraySource, read_header, write_array
+
+__all__ = ["ArrayHeader", "ArraySource", "read_header", "write_array"]

@@ -1,0 +1,10 @@
+"""CSV raw-format substrate: plugin, positional maps, writer."""
+
+from .plugin import CSVOptions, CSVSource
+from .positional_map import PositionalMap, PosMapStats
+from .writer import append_csv, format_value, write_csv
+
+__all__ = [
+    "CSVOptions", "CSVSource", "PositionalMap", "PosMapStats",
+    "append_csv", "format_value", "write_csv",
+]

@@ -1,0 +1,49 @@
+"""CSV writing — used by dataset generators and by the ETL flattening step."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+
+def format_value(value: object) -> str:
+    """Render one value the way our CSV dialect expects (empty = null)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def write_csv(
+    path: str | os.PathLike,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    delimiter: str = ",",
+    header: bool = True,
+) -> int:
+    """Write ``rows`` to ``path``; returns the number of data rows written."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        if header:
+            fh.write(delimiter.join(columns) + "\n")
+        for row in rows:
+            fh.write(delimiter.join(format_value(v) for v in row) + "\n")
+            count += 1
+    return count
+
+
+def append_csv(
+    path: str | os.PathLike,
+    rows: Iterable[Sequence[object]],
+    delimiter: str = ",",
+) -> int:
+    """Append data rows (no header) — models the paper's append-like workloads."""
+    count = 0
+    with open(path, "a", encoding="utf-8", newline="") as fh:
+        for row in rows:
+            fh.write(delimiter.join(format_value(v) for v in row) + "\n")
+            count += 1
+    return count

@@ -1,0 +1,110 @@
+"""A conventional DBMS as a ViDa data source (paper §2.1).
+
+"The 'capabilities' exposed by each underlying data source dictate the
+efficiency of the generated code. For example, in the case that ViDa treats
+a conventional DBMS as a data source, ViDa's access paths can utilize
+existing indexes to speed-up queries to this data source."
+
+:class:`DBMSSource` adapts one table/collection of the warehouse engines
+(row store, column store, document store) into the plugin interface ViDa
+scans expect, advertising the store's indexes so the planner can push
+equality predicates down into an index lookup instead of a full scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import DataFormatError
+from ..mcc import types as T
+from ..warehouse.colstore import ColStore
+from ..warehouse.docstore import DocStore
+from ..warehouse.rowstore import RowStore
+
+_PRIM = {"int": T.INT, "float": T.FLOAT, "bool": T.BOOL, "string": T.STRING}
+
+
+class DBMSSource:
+    """One store table/collection exposed as a ViDa source."""
+
+    format_name = "dbms"
+
+    def __init__(self, store: RowStore | ColStore | DocStore, table: str):
+        self.store = store
+        self.table = table
+        if isinstance(store, (RowStore, ColStore)):
+            meta = store.tables.get(table) if isinstance(store, RowStore) else None
+            if isinstance(store, RowStore):
+                if meta is None:
+                    raise DataFormatError(f"row store has no table {table!r}")
+                self.columns = list(meta.columns)
+                self.types = list(meta.types)
+            else:
+                ctable = store.tables.get(table)
+                if ctable is None:
+                    raise DataFormatError(f"column store has no table {table!r}")
+                self.columns = list(ctable.order)
+                self.types = [ctable.columns[c].type for c in ctable.order]
+        elif isinstance(store, DocStore):
+            if table not in store.collections:
+                raise DataFormatError(f"document store has no collection {table!r}")
+            self.columns = []
+            self.types = []
+        else:
+            raise DataFormatError(
+                f"unsupported store type {type(store).__name__} for a DBMS source"
+            )
+
+    # -- schema ----------------------------------------------------------------
+
+    def element_type(self) -> T.Type:
+        if isinstance(self.store, DocStore):
+            elem: T.Type = T.ANY
+            for i, doc in enumerate(self.store.find(self.table)):
+                inferred = T.type_of_python_value(doc)
+                unified = T.unify(elem, inferred)
+                elem = unified if unified is not None else T.ANY
+                if i >= 20:
+                    break
+            return elem
+        return T.RecordType(tuple(
+            (c, _PRIM.get(t, T.ANY)) for c, t in zip(self.columns, self.types)
+        ))
+
+    def schema(self) -> T.CollectionType:
+        return T.bag_of(self.element_type())
+
+    # -- capabilities -----------------------------------------------------------
+
+    def indexed_fields(self) -> tuple[str, ...]:
+        """Fields the underlying store can look up without a scan."""
+        if isinstance(self.store, DocStore):
+            return tuple(sorted(self.store.collections[self.table].indexes))
+        return ()
+
+    def row_count(self) -> int:
+        if isinstance(self.store, DocStore):
+            return self.store.count(self.table)
+        return self.store.row_count(self.table)
+
+    # -- access paths --------------------------------------------------------------
+
+    def scan(self, fields: Sequence[str] | None = None) -> Iterator[dict]:
+        """Full scan yielding dict records of the requested fields."""
+        if isinstance(self.store, DocStore):
+            yield from self.store.iter_dicts(self.table, list(fields) if fields else None)
+            return
+        yield from self.store.iter_dicts(self.table, list(fields) if fields else None)
+
+    def index_lookup(self, field: str, value) -> Iterator[dict]:
+        """Index access path: only documents/rows with ``field == value``."""
+        if isinstance(self.store, DocStore):
+            if field not in self.store.collections[self.table].indexes:
+                raise DataFormatError(
+                    f"collection {self.table!r} has no index on {field!r}"
+                )
+            yield from self.store.find(self.table, eq=(field, value))
+            return
+        raise DataFormatError(
+            f"store {type(self.store).__name__} exposes no index on {field!r}"
+        )

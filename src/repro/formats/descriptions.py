@@ -1,0 +1,233 @@
+"""Source description grammar (paper Section 3.1).
+
+ViDa requires "an elementary description of each data format — the
+equivalent concept in a DBMS is a catalog containing the schema of each
+table". A description captures:
+
+1. the **schema** of the raw dataset,
+2. the **unit** of data retrieved per access (element / row / column /
+   chunk / object / tuple),
+3. the **access paths** the format exposes (sequential, positional via an
+   auxiliary index, rowid, value index).
+
+The grammar accepts the paper's example syntax::
+
+    Array(Dim(i, int), Dim(j, int), Att(val))
+    val = Record(Att(elevation, float), Att(temperature, float))
+
+plus ``Record(...)``, ``Bag/Set/List(...)``, and primitive names. Named
+definitions (``name = typeexpr``) resolve references of attributes declared
+without an inline type.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ParseError
+from ..mcc import types as T
+
+#: units of data an access path may return (paper §3.1 discussion)
+UNITS = ("element", "row", "column", "chunk", "object", "tuple", "page", "cell")
+
+#: access-path kinds a source may expose
+ACCESS_PATHS = ("sequential", "positional", "rowid", "index")
+
+
+@dataclass(frozen=True)
+class SourceDescription:
+    """A registered raw dataset's catalog entry."""
+
+    name: str
+    format: str                       # csv | json | array | xls | dbms | memory
+    schema: T.Type                    # collection/array type of the whole source
+    unit: str = "row"
+    access_paths: tuple[str, ...] = ("sequential",)
+    path: str | None = None           # backing file, when there is one
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.unit not in UNITS:
+            raise ParseError(f"unknown unit {self.unit!r}; choose from {UNITS}")
+        for ap in self.access_paths:
+            if ap not in ACCESS_PATHS:
+                raise ParseError(f"unknown access path {ap!r}; choose from {ACCESS_PATHS}")
+
+    @property
+    def element_type(self) -> T.Type:
+        """The type a generator variable binds to when ranging over this source."""
+        schema = self.schema
+        if isinstance(schema, T.CollectionType):
+            return schema.elem
+        if isinstance(schema, T.ArrayType):
+            fields = tuple((d.name, d.type) for d in schema.dims)
+            if isinstance(schema.elem, T.RecordType):
+                fields += schema.elem.fields
+            else:
+                fields += (("value", schema.elem),)
+            return T.RecordType(fields)
+        return schema
+
+
+# ---------------------------------------------------------------------------
+# Grammar: tokenizer + recursive-descent parser for type expressions
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*|[(),=])")
+
+_PRIMITIVES = {"int": T.INT, "float": T.FLOAT, "bool": T.BOOL,
+               "string": T.STRING, "str": T.STRING, "null": T.NULL, "any": T.ANY}
+
+
+class _DescParser:
+    def __init__(self, text: str):
+        self.tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m:
+                if text[pos:].strip():
+                    raise ParseError(f"bad description syntax near {text[pos:pos+20]!r}")
+                break
+            self.tokens.append(m.group(1))
+            pos = m.end()
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of description")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        tok = self.advance()
+        if tok != token:
+            raise ParseError(f"expected {token!r} in description, found {tok!r}")
+
+    def type_expr(self, definitions: dict[str, T.Type]) -> T.Type:
+        tok = self.advance()
+        lowered = tok.lower()
+        if lowered in _PRIMITIVES:
+            return _PRIMITIVES[lowered]
+        if lowered == "record":
+            return self._record(definitions)
+        if lowered == "array":
+            return self._array(definitions)
+        if lowered in ("bag", "set", "list"):
+            self.expect("(")
+            elem = self.type_expr(definitions)
+            self.expect(")")
+            return T.CollectionType(lowered, elem)
+        if tok in definitions:
+            return definitions[tok]
+        raise ParseError(f"unknown type name {tok!r} in description")
+
+    def _record(self, definitions: dict[str, T.Type]) -> T.RecordType:
+        self.expect("(")
+        fields: list[tuple[str, T.Type]] = []
+        while True:
+            kw = self.advance()
+            if kw.lower() != "att":
+                raise ParseError(f"expected Att(...) in Record, found {kw!r}")
+            fields.append(self._att(definitions))
+            nxt = self.advance()
+            if nxt == ")":
+                break
+            if nxt != ",":
+                raise ParseError(f"expected ',' or ')' in Record, found {nxt!r}")
+        return T.RecordType(tuple(fields))
+
+    def _att(self, definitions: dict[str, T.Type]) -> tuple[str, T.Type]:
+        self.expect("(")
+        name = self.advance()
+        nxt = self.advance()
+        if nxt == ")":
+            # untyped attribute: resolved from a named definition or ANY
+            return (name, definitions.get(name, T.ANY))
+        if nxt != ",":
+            raise ParseError(f"expected ',' or ')' in Att, found {nxt!r}")
+        ftype = self.type_expr(definitions)
+        self.expect(")")
+        return (name, ftype)
+
+    def _array(self, definitions: dict[str, T.Type]) -> T.ArrayType:
+        self.expect("(")
+        dims: list[T.Dim] = []
+        elem: T.Type | None = None
+        elem_name: str | None = None
+        while True:
+            kw = self.advance()
+            if kw.lower() == "dim":
+                self.expect("(")
+                dname = self.advance()
+                self.expect(",")
+                dtype = self.type_expr(definitions)
+                self.expect(")")
+                dims.append(T.Dim(dname, dtype))
+            elif kw.lower() == "att":
+                name, ftype = self._att(definitions)
+                elem = ftype
+                elem_name = name
+            else:
+                raise ParseError(f"expected Dim/Att in Array, found {kw!r}")
+            nxt = self.advance()
+            if nxt == ")":
+                break
+            if nxt != ",":
+                raise ParseError(f"expected ',' or ')' in Array, found {nxt!r}")
+        if not dims:
+            raise ParseError("Array needs at least one Dim(...)")
+        if elem is None:
+            raise ParseError("Array needs an Att(...) element declaration")
+        if elem is T.ANY and elem_name and elem_name in definitions:
+            elem = definitions[elem_name]
+        return T.ArrayType(tuple(dims), elem)
+
+
+def parse_description(text: str) -> T.Type:
+    """Parse a (possibly multi-line) source description into a type.
+
+    The first line is the top-level type; subsequent ``name = typeexpr``
+    lines define named types referenced by untyped ``Att(name)`` entries.
+
+    >>> t = parse_description('''
+    ...     Array(Dim(i, int), Dim(j, int), Att(val))
+    ...     val = Record(Att(elevation, float), Att(temperature, float))
+    ... ''')
+    >>> t.rank
+    2
+    """
+    lines = [ln.strip() for ln in text.strip().splitlines() if ln.strip()]
+    if not lines:
+        raise ParseError("empty source description")
+    definitions: dict[str, T.Type] = {}
+    # Named definitions may appear after first use (as in the paper's
+    # example), so parse them first.
+    for line in lines[1:]:
+        if "=" not in line:
+            raise ParseError(f"expected 'name = typeexpr', found {line!r}")
+        name, _, rhs = line.partition("=")
+        definitions[name.strip()] = _DescParser(rhs).type_expr(definitions)
+    return _DescParser(lines[0]).type_expr(definitions)
+
+
+def describe_type(t: T.Type) -> str:
+    """Inverse of :func:`parse_description` for simple types (round-trips)."""
+    if isinstance(t, T.PrimitiveType):
+        return t.name
+    if isinstance(t, T.AnyType):
+        return "any"
+    if isinstance(t, T.RecordType):
+        atts = ", ".join(f"Att({n}, {describe_type(ft)})" for n, ft in t.fields)
+        return f"Record({atts})"
+    if isinstance(t, T.CollectionType):
+        return f"{t.kind.capitalize()}({describe_type(t.elem)})"
+    if isinstance(t, T.ArrayType):
+        dims = ", ".join(f"Dim({d.name}, {describe_type(d.type)})" for d in t.dims)
+        return f"Array({dims}, Att(val, {describe_type(t.elem)}))"
+    raise ParseError(f"cannot describe type {t}")

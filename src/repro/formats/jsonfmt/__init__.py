@@ -1,0 +1,10 @@
+"""JSON raw-format substrate: plugin, structural semi-index, BSON-lite codec."""
+
+from . import bson
+from .plugin import JSONOptions, JSONSource, get_path
+from .semi_index import JSONSemiIndex, ObjectSpan
+
+__all__ = [
+    "JSONOptions", "JSONSemiIndex", "JSONSource", "ObjectSpan", "bson",
+    "get_path",
+]

@@ -1,0 +1,134 @@
+"""BSON-lite: a binary JSON serialization (subset of real BSON).
+
+Used in two places, both from the paper:
+
+- as the document store baseline's on-disk format (MongoDB stores BSON; the
+  paper reports the imported JSON *doubling* in size — field names are
+  repeated per document and values carry fixed-width tags/lengths, which
+  this codec reproduces), and
+- as one of ViDa's materialisation layouts (Figure 4 layout (b)): "binary
+  JSON serializations are more compact than JSON [text]" for *nested* data
+  while staying cheaper to traverse than re-parsing text.
+
+Wire format (faithful BSON subset)::
+
+    document := int32 total_size, element*, 0x00
+    element  := tag byte, cstring field-name, payload
+    tags     := 0x01 double | 0x02 string | 0x03 document | 0x04 array
+              | 0x08 bool | 0x0A null | 0x12 int64
+
+Arrays are encoded as documents with "0", "1", ... keys, exactly like BSON.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ...errors import DataFormatError
+
+_INT32 = struct.Struct("<i")
+_INT64 = struct.Struct("<q")
+_DOUBLE = struct.Struct("<d")
+
+TAG_DOUBLE = 0x01
+TAG_STRING = 0x02
+TAG_DOCUMENT = 0x03
+TAG_ARRAY = 0x04
+TAG_BOOL = 0x08
+TAG_NULL = 0x0A
+TAG_INT64 = 0x12
+
+
+def encode(document: dict) -> bytes:
+    """Encode a dict (JSON-compatible values only) to BSON-lite bytes."""
+    if not isinstance(document, dict):
+        raise DataFormatError(f"BSON top level must be a document, got {type(document).__name__}")
+    return _encode_document(document)
+
+
+def _encode_document(doc: dict) -> bytes:
+    body = bytearray()
+    for key, value in doc.items():
+        body += _encode_element(str(key), value)
+    total = _INT32.size + len(body) + 1
+    return _INT32.pack(total) + bytes(body) + b"\x00"
+
+
+def _encode_element(name: str, value) -> bytes:
+    name_bytes = name.encode("utf-8") + b"\x00"
+    if value is None:
+        return bytes([TAG_NULL]) + name_bytes
+    if isinstance(value, bool):
+        return bytes([TAG_BOOL]) + name_bytes + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return bytes([TAG_INT64]) + name_bytes + _INT64.pack(value)
+    if isinstance(value, float):
+        return bytes([TAG_DOUBLE]) + name_bytes + _DOUBLE.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8") + b"\x00"
+        return bytes([TAG_STRING]) + name_bytes + _INT32.pack(len(raw)) + raw
+    if isinstance(value, dict):
+        return bytes([TAG_DOCUMENT]) + name_bytes + _encode_document(value)
+    if isinstance(value, (list, tuple)):
+        as_doc = {str(i): v for i, v in enumerate(value)}
+        return bytes([TAG_ARRAY]) + name_bytes + _encode_document(as_doc)
+    raise DataFormatError(f"cannot BSON-encode value of type {type(value).__name__}")
+
+
+def decode(data: bytes) -> dict:
+    """Decode BSON-lite bytes back to a dict."""
+    doc, consumed = _decode_document(data, 0)
+    if consumed != len(data):
+        raise DataFormatError(
+            f"trailing bytes after BSON document ({len(data) - consumed} extra)"
+        )
+    return doc
+
+
+def _decode_document(data: bytes, offset: int) -> tuple[dict, int]:
+    if offset + _INT32.size > len(data):
+        raise DataFormatError("truncated BSON document header")
+    (total,) = _INT32.unpack_from(data, offset)
+    end = offset + total
+    if end > len(data) or total < 5:
+        raise DataFormatError(f"bad BSON document length {total}")
+    pos = offset + _INT32.size
+    doc: dict = {}
+    while pos < end - 1:
+        tag = data[pos]
+        pos += 1
+        name_end = data.index(b"\x00", pos)
+        name = data[pos:name_end].decode("utf-8")
+        pos = name_end + 1
+        value, pos = _decode_value(tag, data, pos)
+        doc[name] = value
+    if data[end - 1] != 0:
+        raise DataFormatError("missing BSON document terminator")
+    return doc, end
+
+
+def _decode_value(tag: int, data: bytes, pos: int):
+    if tag == TAG_NULL:
+        return None, pos
+    if tag == TAG_BOOL:
+        return data[pos] == 1, pos + 1
+    if tag == TAG_INT64:
+        return _INT64.unpack_from(data, pos)[0], pos + 8
+    if tag == TAG_DOUBLE:
+        return _DOUBLE.unpack_from(data, pos)[0], pos + 8
+    if tag == TAG_STRING:
+        (length,) = _INT32.unpack_from(data, pos)
+        pos += 4
+        raw = data[pos:pos + length - 1]
+        return raw.decode("utf-8"), pos + length
+    if tag == TAG_DOCUMENT:
+        return _decode_document(data, pos)
+    if tag == TAG_ARRAY:
+        doc, new_pos = _decode_document(data, pos)
+        return [doc[k] for k in sorted(doc, key=int)], new_pos
+    raise DataFormatError(f"unknown BSON tag 0x{tag:02x}")
+
+
+def encoded_size(document: dict) -> int:
+    """Size in bytes of the BSON-lite encoding (without encoding twice)."""
+    return len(encode(document))

@@ -1,0 +1,143 @@
+"""Structural semi-index for JSON files (paper §3.1/§6; Ottaviano & Grossi).
+
+ViDa "maintains positional information such as starting and ending positions
+of JSON objects and arrays". This index records, for every *top-level*
+object in a file (newline-delimited JSON or a single top-level JSON array),
+its ``(start, end)`` byte range — enough to:
+
+- jump straight to the i-th object (positional access path),
+- carry cheap ``(start, end)`` pairs through query plans instead of parsed
+  objects (Figure 4 layout (d), the cache-pollution avoidance device), and
+- re-assemble qualifying objects only at projection time.
+
+The boundary scanner is a single pass over the raw bytes tracking string
+state and brace depth; it never builds parsed objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import DataFormatError
+
+
+@dataclass(frozen=True)
+class ObjectSpan:
+    """Byte range of one top-level JSON object: ``data[start:end]``."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class JSONSemiIndex:
+    """Positions of all top-level objects in a JSON file."""
+
+    def __init__(self, spans: list[ObjectSpan]):
+        self.spans = spans
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __getitem__(self, i: int) -> ObjectSpan:
+        return self.spans[i]
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def memory_bytes(self) -> int:
+        return len(self.spans) * 16
+
+    @staticmethod
+    def build(data: bytes) -> "JSONSemiIndex":
+        """Scan raw bytes once, recording top-level object boundaries.
+
+        Handles both NDJSON (objects at depth 0) and a single enclosing
+        array (objects at depth 1 inside ``[...]``).
+        """
+        spans: list[ObjectSpan] = []
+        in_string = False
+        escaped = False
+        depth = 0
+        array_depth = 0
+        object_start = -1
+        top_is_array = None
+
+        for i, byte in enumerate(data):
+            ch = chr(byte)
+            if in_string:
+                if escaped:
+                    escaped = False
+                elif ch == "\\":
+                    escaped = True
+                elif ch == '"':
+                    in_string = False
+                continue
+            if ch == '"':
+                in_string = True
+            elif ch == "{":
+                if depth == 0:
+                    object_start = i
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth < 0:
+                    raise DataFormatError(f"unbalanced '}}' at byte {i}")
+                if depth == 0 and object_start >= 0:
+                    spans.append(ObjectSpan(object_start, i + 1))
+                    object_start = -1
+            elif ch == "[" and depth == 0:
+                if top_is_array is None and not spans:
+                    top_is_array = True
+                array_depth += 1
+            elif ch == "]" and depth == 0:
+                array_depth -= 1
+        if depth != 0 or in_string:
+            raise DataFormatError("truncated JSON: unbalanced braces or open string")
+        return JSONSemiIndex(spans)
+
+    @staticmethod
+    def build_from_file(path: str, chunk_size: int = 1 << 22) -> "JSONSemiIndex":
+        """Build from a file without holding it all in memory (chunked scan)."""
+        spans: list[ObjectSpan] = []
+        in_string = False
+        escaped = False
+        depth = 0
+        object_start = -1
+        base = 0
+        with open(path, "rb") as fh:
+            while True:
+                chunk = fh.read(chunk_size)
+                if not chunk:
+                    break
+                for j, byte in enumerate(chunk):
+                    i = base + j
+                    ch = chr(byte)
+                    if in_string:
+                        if escaped:
+                            escaped = False
+                        elif ch == "\\":
+                            escaped = True
+                        elif ch == '"':
+                            in_string = False
+                        continue
+                    if ch == '"':
+                        in_string = True
+                    elif ch == "{":
+                        if depth == 0:
+                            object_start = i
+                        depth += 1
+                    elif ch == "}":
+                        depth -= 1
+                        if depth < 0:
+                            raise DataFormatError(f"unbalanced '}}' at byte {i}")
+                        if depth == 0 and object_start >= 0:
+                            spans.append(ObjectSpan(object_start, i + 1))
+                            object_start = -1
+                base += len(chunk)
+        if depth != 0 or in_string:
+            raise DataFormatError("truncated JSON: unbalanced braces or open string")
+        return JSONSemiIndex(spans)

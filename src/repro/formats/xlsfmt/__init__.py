@@ -1,0 +1,5 @@
+"""XLS-like binary workbook raw-format substrate."""
+
+from .plugin import SheetInfo, XLSSource, write_workbook
+
+__all__ = ["SheetInfo", "XLSSource", "write_workbook"]

@@ -1,0 +1,6 @@
+"""Query-language translation layers onto the comprehension calculus."""
+
+from .pathql import translate_path
+from .sql import parse_sql, translate_sql
+
+__all__ = ["parse_sql", "translate_path", "translate_sql"]

@@ -1,0 +1,129 @@
+"""PathQL: an XPath-flavoured path language over ViDa sources (paper §3.2).
+
+The paper's language layer exists so "users have the power to choose the
+language best suited for an analysis" — SQL for relational shapes, and a
+path language for hierarchical ones (its examples cite XQuery, whose FLWOR
+expressions the monoid comprehension calculus models). PathQL is that
+second dialect: navigational queries that translate mechanically onto
+comprehensions.
+
+Syntax::
+
+    /Source                              all elements
+    /Source[pred]                        filtered elements
+    /Source[pred]/field                  project a field
+    /Source/items[pred]/name             descend into a collection-valued
+                                         field (becomes an unnest generator)
+
+Predicates use the comprehension expression grammar with *relative* field
+references: ``age > 60 and gender = "f"`` — bare identifiers resolve
+against the current step's element.
+
+Examples::
+
+    /Patients[age > 60]/id
+    /Scans/regions[volume > 12.5]/name
+    /Scans[quality >= 0.9]/regions/volume
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from ..mcc import ast as A
+from ..mcc.monoids import get_monoid
+from ..mcc.parser import parse as parse_expr
+
+
+def _split_steps(query: str) -> list[str]:
+    """Split on '/' at bracket depth zero; validates bracket balance."""
+    if not query.startswith("/"):
+        raise ParseError("PathQL queries start with '/'")
+    steps: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in query[1:]:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced ']' in PathQL query")
+        if ch == "/" and depth == 0:
+            steps.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ParseError("unbalanced '[' in PathQL query")
+    steps.append("".join(current))
+    if any(not s.strip() for s in steps):
+        raise ParseError("empty step in PathQL query")
+    return [s.strip() for s in steps]
+
+
+def _parse_step(step: str) -> tuple[str, str | None]:
+    """Split ``name[pred]`` into (name, predicate-text or None)."""
+    if "[" in step:
+        name, _, rest = step.partition("[")
+        if not rest.endswith("]"):
+            raise ParseError(f"malformed step {step!r}")
+        return name.strip(), rest[:-1].strip()
+    return step.strip(), None
+
+
+def _relativise(pred: A.Expr, var: str, bound: set[str]) -> A.Expr:
+    """Rewrite bare field references to projections off the step variable."""
+    if isinstance(pred, A.Var):
+        if pred.name in bound:
+            return pred
+        return A.Proj(A.Var(var), pred.name)
+    children = pred.children()
+    if not children:
+        return pred
+    if isinstance(pred, A.Comprehension):
+        # nested comprehensions keep their own scoping; leave untouched
+        return pred
+    return pred.replace_children([_relativise(c, var, bound) for c in children])
+
+
+def translate_path(query: str, catalog) -> A.Expr:
+    """Translate a PathQL query into a comprehension.
+
+    ``catalog`` supplies the source names (the first step must name one).
+    """
+    steps = _split_steps(query)
+    source_name, source_pred = _parse_step(steps[0])
+    if source_name not in catalog.names():
+        raise ParseError(
+            f"unknown source {source_name!r}; registered: "
+            f"{', '.join(sorted(catalog.names()))}"
+        )
+
+    qualifiers: list[A.Qualifier] = []
+    bound: set[str] = set()
+    var = "_s0"
+    qualifiers.append(A.Generator(var, A.Var(source_name)))
+    bound.add(var)
+    if source_pred:
+        qualifiers.append(A.Filter(_relativise(parse_expr(source_pred), var, bound)))
+
+    head: A.Expr = A.Var(var)
+    remaining = steps[1:]
+    for i, step in enumerate(remaining):
+        name, pred = _parse_step(step)
+        is_last = i == len(remaining) - 1
+        if is_last and pred is None:
+            # terminal projection step
+            head = A.Proj(A.Var(var), name)
+            break
+        # descend: the field is a collection — new generator
+        new_var = f"_s{i + 1}"
+        qualifiers.append(A.Generator(new_var, A.Proj(A.Var(var), name)))
+        bound.add(new_var)
+        var = new_var
+        head = A.Var(var)
+        if pred:
+            qualifiers.append(
+                A.Filter(_relativise(parse_expr(pred), var, bound))
+            )
+    return A.Comprehension(get_monoid("bag"), head, tuple(qualifiers))

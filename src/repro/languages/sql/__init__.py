@@ -1,0 +1,6 @@
+"""SQL syntactic-sugar layer: SQL → monoid comprehensions (paper §3.2)."""
+
+from .parser import parse_sql
+from .translate import translate_sql
+
+__all__ = ["parse_sql", "translate_sql"]

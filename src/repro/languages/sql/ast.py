@@ -1,0 +1,93 @@
+"""SQL AST (the subset the translation layer supports).
+
+The paper positions SQL as one of the languages translated onto the monoid
+comprehension calculus through "a 'syntactic sugar' translation layer"
+(§3.2). The supported subset covers the evaluation workload and the usual
+analytical shapes: SELECT [DISTINCT] with expressions/aggregates, FROM with
+INNER JOIN ... ON, WHERE, GROUP BY/HAVING, ORDER BY, LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: str | None  # alias, or None when unqualified
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class SQLBinOp:
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class SQLUnOp:
+    op: str
+    expr: object
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    func: str          # count | sum | avg | min | max | median
+    arg: object | None  # None for COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: object
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: object
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: object
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: object
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    table: TableRef
+    joins: tuple[Join, ...] = ()
+    where: object | None = None
+    group_by: tuple = ()
+    having: object | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False

@@ -1,0 +1,318 @@
+"""SQL lexer + recursive-descent parser for the supported subset."""
+
+from __future__ import annotations
+
+import re
+
+from ...errors import ParseError
+from . import ast as S
+
+_KEYWORDS = frozenset(
+    "select from where join inner left on and or not as group by having order "
+    "limit asc desc distinct like in is null true false between".split()
+)
+_AGGREGATES = frozenset(["count", "sum", "avg", "min", "max", "median"])
+_FUNCS = frozenset(["lower", "upper", "abs", "length", "round", "substr"])
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<float>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+      | (?P<int>\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<symbol><>|!=|<=|>=|=|<|>|\(|\)|,|\.|\+|-|\*|/|%|;)
+    )""",
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            if text[pos:].strip():
+                raise ParseError(f"bad SQL near {text[pos:pos+20]!r}")
+            break
+        pos = m.end()
+        if m.lastgroup == "ident":
+            word = m.group("ident")
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(("KW", lowered))
+            else:
+                tokens.append(("IDENT", word))
+        elif m.lastgroup == "string":
+            raw = m.group("string")[1:-1].replace("''", "'")
+            tokens.append(("STRING", raw))
+        elif m.lastgroup == "int":
+            tokens.append(("INT", m.group("int")))
+        elif m.lastgroup == "float":
+            tokens.append(("FLOAT", m.group("float")))
+        else:
+            tokens.append(("SYM", m.group("symbol")))
+    tokens.append(("EOF", ""))
+    return tokens
+
+
+class SQLParser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> tuple[str, str]:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> tuple[str, str]:
+        tok = self.tokens[self.pos]
+        if tok[0] != "EOF":
+            self.pos += 1
+        return tok
+
+    def match(self, kind: str, value: str | None = None) -> bool:
+        k, v = self.peek()
+        if k == kind and (value is None or v == value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str]:
+        k, v = self.peek()
+        if k != kind or (value is not None and v != value):
+            raise ParseError(f"expected {value or kind!r}, found {v!r} in SQL")
+        return self.advance()
+
+    # -- statement ---------------------------------------------------------
+
+    def parse(self) -> S.SelectStmt:
+        stmt = self.select()
+        self.match("SYM", ";")
+        k, v = self.peek()
+        if k != "EOF":
+            raise ParseError(f"unexpected trailing SQL {v!r}")
+        return stmt
+
+    def select(self) -> S.SelectStmt:
+        self.expect("KW", "select")
+        distinct = self.match("KW", "distinct")
+        items = [self.select_item()]
+        while self.match("SYM", ","):
+            items.append(self.select_item())
+        self.expect("KW", "from")
+        table = self.table_ref()
+        joins: list[S.Join] = []
+        while True:
+            if self.match("KW", "inner"):
+                self.expect("KW", "join")
+            elif self.match("KW", "join"):
+                pass
+            else:
+                break
+            joined = self.table_ref()
+            self.expect("KW", "on")
+            joins.append(S.Join(joined, self.expression()))
+        where = self.expression() if self.match("KW", "where") else None
+        group_by: list = []
+        if self.match("KW", "group"):
+            self.expect("KW", "by")
+            group_by.append(self.expression())
+            while self.match("SYM", ","):
+                group_by.append(self.expression())
+        having = self.expression() if self.match("KW", "having") else None
+        order_by: list[S.OrderItem] = []
+        if self.match("KW", "order"):
+            self.expect("KW", "by")
+            order_by.append(self.order_item())
+            while self.match("SYM", ","):
+                order_by.append(self.order_item())
+        limit = None
+        if self.match("KW", "limit"):
+            limit = int(self.expect("INT")[1])
+        return S.SelectStmt(
+            items=tuple(items), table=table, joins=tuple(joins), where=where,
+            group_by=tuple(group_by), having=having, order_by=tuple(order_by),
+            limit=limit, distinct=distinct,
+        )
+
+    def select_item(self) -> S.SelectItem:
+        if self.peek() == ("SYM", "*"):
+            self.advance()
+            return S.SelectItem(S.ColumnRef(None, "*"), None)
+        expr = self.expression()
+        alias = None
+        if self.match("KW", "as"):
+            alias = self.expect("IDENT")[1]
+        elif self.peek()[0] == "IDENT":
+            alias = self.advance()[1]
+        return S.SelectItem(expr, alias)
+
+    def order_item(self) -> S.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self.match("KW", "desc"):
+            descending = True
+        else:
+            self.match("KW", "asc")
+        return S.OrderItem(expr, descending)
+
+    def table_ref(self) -> S.TableRef:
+        name = self.expect("IDENT")[1]
+        alias = name
+        if self.match("KW", "as"):
+            alias = self.expect("IDENT")[1]
+        elif self.peek()[0] == "IDENT":
+            alias = self.advance()[1]
+        return S.TableRef(name, alias)
+
+    # -- expressions (precedence climbing) ------------------------------------
+
+    def expression(self):
+        return self.or_expr()
+
+    def or_expr(self):
+        left = self.and_expr()
+        while self.match("KW", "or"):
+            left = S.SQLBinOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self):
+        left = self.not_expr()
+        while self.match("KW", "and"):
+            left = S.SQLBinOp("and", left, self.not_expr())
+        return left
+
+    def not_expr(self):
+        if self.match("KW", "not"):
+            return S.SQLUnOp("not", self.not_expr())
+        return self.comparison()
+
+    def comparison(self):
+        left = self.additive()
+        k, v = self.peek()
+        if k == "SYM" and v in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            op = "!=" if v == "<>" else v
+            return S.SQLBinOp(op, left, self.additive())
+        if k == "KW" and v == "like":
+            self.advance()
+            return S.SQLBinOp("like", left, self.additive())
+        if k == "KW" and v == "between":
+            self.advance()
+            lo = self.additive()
+            self.expect("KW", "and")
+            hi = self.additive()
+            return S.SQLBinOp(
+                "and", S.SQLBinOp(">=", left, lo), S.SQLBinOp("<=", left, hi)
+            )
+        if k == "KW" and v == "is":
+            self.advance()
+            negated = self.match("KW", "not")
+            self.expect("KW", "null")
+            op = "!=" if negated else "="
+            return S.SQLBinOp(op, left, S.Literal(None))
+        if k == "KW" and v == "in":
+            self.advance()
+            self.expect("SYM", "(")
+            items = [self.additive()]
+            while self.match("SYM", ","):
+                items.append(self.additive())
+            self.expect("SYM", ")")
+            return S.InList(left, tuple(items))
+        if k == "KW" and v == "not" and self.peek(1) == ("KW", "in"):
+            self.advance()
+            self.advance()
+            self.expect("SYM", "(")
+            items = [self.additive()]
+            while self.match("SYM", ","):
+                items.append(self.additive())
+            self.expect("SYM", ")")
+            return S.InList(left, tuple(items), negated=True)
+        return left
+
+    def additive(self):
+        left = self.multiplicative()
+        while True:
+            k, v = self.peek()
+            if k == "SYM" and v in ("+", "-"):
+                self.advance()
+                left = S.SQLBinOp(v, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self):
+        left = self.unary()
+        while True:
+            k, v = self.peek()
+            if k == "SYM" and v in ("*", "/", "%"):
+                self.advance()
+                left = S.SQLBinOp(v, left, self.unary())
+            else:
+                return left
+
+    def unary(self):
+        if self.match("SYM", "-"):
+            return S.SQLUnOp("-", self.unary())
+        return self.primary()
+
+    def primary(self):
+        k, v = self.peek()
+        if k == "INT":
+            self.advance()
+            return S.Literal(int(v))
+        if k == "FLOAT":
+            self.advance()
+            return S.Literal(float(v))
+        if k == "STRING":
+            self.advance()
+            return S.Literal(v)
+        if k == "KW" and v in ("true", "false"):
+            self.advance()
+            return S.Literal(v == "true")
+        if k == "KW" and v == "null":
+            self.advance()
+            return S.Literal(None)
+        if k == "SYM" and v == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect("SYM", ")")
+            return inner
+        if k == "IDENT":
+            name = self.advance()[1]
+            lowered = name.lower()
+            if self.peek() == ("SYM", "("):
+                self.advance()
+                if lowered in _AGGREGATES:
+                    distinct = self.match("KW", "distinct")
+                    if self.peek() == ("SYM", "*"):
+                        self.advance()
+                        arg = None
+                    else:
+                        arg = self.expression()
+                    self.expect("SYM", ")")
+                    return S.Aggregate(lowered, arg, distinct)
+                args: list = []
+                if self.peek() != ("SYM", ")"):
+                    args.append(self.expression())
+                    while self.match("SYM", ","):
+                        args.append(self.expression())
+                self.expect("SYM", ")")
+                if lowered not in _FUNCS:
+                    raise ParseError(f"unknown SQL function {name!r}")
+                return S.FuncCall(lowered, tuple(args))
+            if self.peek() == ("SYM", ".") and self.peek(1)[0] == "IDENT":
+                self.advance()
+                column = self.advance()[1]
+                return S.ColumnRef(name, column)
+            return S.ColumnRef(None, name)
+        raise ParseError(f"unexpected SQL token {v!r}")
+
+
+def parse_sql(text: str) -> S.SelectStmt:
+    """Parse one SELECT statement.
+
+    >>> stmt = parse_sql("SELECT COUNT(*) FROM T WHERE T.a > 3")
+    >>> stmt.items[0].expr.func
+    'count'
+    """
+    return SQLParser(text).parse()

@@ -1,0 +1,246 @@
+"""SQL → monoid comprehension translation (paper §3.2).
+
+"Support for a variety of query languages can be provided through a
+'syntactic sugar' translation layer, which maps queries written in the
+original language to the internal notation." This module is that layer for
+SQL. Shapes produced:
+
+- plain SELECT → ``for { gens, filters } yield bag ⟨items⟩``
+  (``set`` for DISTINCT);
+- single top-level aggregate → the corresponding primitive monoid
+  (COUNT(e) counts non-null e, exactly SQL's semantics);
+- several aggregates, no GROUP BY → a record of independent comprehensions
+  (evaluated by the interpreter);
+- GROUP BY → the classic nested-comprehension encoding: the outer
+  comprehension ranges over the ``set`` of keys, aggregates are correlated
+  subqueries per key [Fegaras & Maier §2];
+- ORDER BY → the ordering monoid; LIMIT is applied by the session after
+  folding (top-k shortcut when combined with a single ORDER BY key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ParseError, TypeCheckError
+from ...mcc import ast as A
+from ...mcc.monoids import get_monoid, make_orderby
+from ...mcc import types as T
+from . import ast as S
+from .parser import parse_sql
+
+_AGG_MONOID = {"sum": "sum", "avg": "avg", "min": "min", "max": "max",
+               "median": "median"}
+
+
+@dataclass
+class _Scope:
+    """Alias → (source name, element type) for column resolution."""
+
+    tables: dict[str, tuple[str, T.Type]]
+
+    def resolve(self, ref: S.ColumnRef) -> A.Expr:
+        if ref.table is not None:
+            if ref.table not in self.tables:
+                raise ParseError(f"unknown table alias {ref.table!r}")
+            return A.Proj(A.Var(ref.table), ref.name)
+        owners = []
+        for alias, (_src, etype) in self.tables.items():
+            if isinstance(etype, T.RecordType) and etype.field_type(ref.name) is not None:
+                owners.append(alias)
+            elif isinstance(etype, T.AnyType):
+                owners.append(alias)
+        if not owners:
+            raise TypeCheckError(f"column {ref.name!r} not found in any FROM table")
+        if len(owners) > 1:
+            raise TypeCheckError(
+                f"column {ref.name!r} is ambiguous (in {', '.join(owners)})"
+            )
+        return A.Proj(A.Var(owners[0]), ref.name)
+
+
+def translate_sql(statement: str | S.SelectStmt, catalog) -> A.Expr:
+    """Translate a SQL statement into a calculus expression.
+
+    ``catalog`` provides source schemas for unqualified-column resolution.
+    """
+    stmt = parse_sql(statement) if isinstance(statement, str) else statement
+
+    tables: dict[str, tuple[str, T.Type]] = {}
+    gens: list[A.Qualifier] = []
+    filters: list[A.Expr] = []
+
+    def add_table(ref: S.TableRef) -> None:
+        entry = catalog.get(ref.name)
+        if ref.alias in tables:
+            raise ParseError(f"duplicate table alias {ref.alias!r}")
+        tables[ref.alias] = (ref.name, entry.description.element_type)
+        gens.append(A.Generator(ref.alias, A.Var(ref.name)))
+
+    add_table(stmt.table)
+    scope = _Scope(tables)
+    for join in stmt.joins:
+        add_table(join.table)
+        filters.append(_expr(join.condition, scope))
+    if stmt.where is not None:
+        filters.append(_expr(stmt.where, scope))
+
+    qualifiers = tuple(gens) + tuple(A.Filter(f) for f in filters)
+
+    if stmt.group_by:
+        return _translate_group_by(stmt, scope, qualifiers)
+
+    aggregates = [
+        (item, item.expr) for item in stmt.items if isinstance(item.expr, S.Aggregate)
+    ]
+    if aggregates:
+        if len(aggregates) != len(stmt.items):
+            raise ParseError(
+                "mixing aggregates and plain columns requires GROUP BY"
+            )
+        if len(aggregates) == 1:
+            return _aggregate_comprehension(aggregates[0][1], scope, qualifiers)
+        fields = []
+        for i, (item, agg) in enumerate(aggregates):
+            name = item.alias or f"agg{i}"
+            fields.append((name, _aggregate_comprehension(agg, scope, qualifiers)))
+        return A.RecordCons(tuple(fields))
+
+    head = _select_head(stmt, scope)
+    if stmt.order_by:
+        return _translate_order_by(stmt, scope, qualifiers, head)
+    monoid = get_monoid("set" if stmt.distinct else "bag")
+    return A.Comprehension(monoid, head, qualifiers)
+
+
+def _select_head(stmt: S.SelectStmt, scope: _Scope) -> A.Expr:
+    if len(stmt.items) == 1 and isinstance(stmt.items[0].expr, S.ColumnRef) \
+            and stmt.items[0].expr.name == "*" and stmt.items[0].expr.table is None:
+        if len(scope.tables) == 1:
+            return A.Var(next(iter(scope.tables)))
+        return A.RecordCons(tuple((alias, A.Var(alias)) for alias in scope.tables))
+    fields = []
+    for i, item in enumerate(stmt.items):
+        name = item.alias or _default_name(item.expr, i)
+        fields.append((name, _expr(item.expr, scope)))
+    return A.RecordCons(tuple(fields))
+
+
+def _default_name(expr, i: int) -> str:
+    if isinstance(expr, S.ColumnRef):
+        return expr.name
+    return f"col{i}"
+
+
+def _aggregate_comprehension(agg: S.Aggregate, scope: _Scope,
+                             qualifiers: tuple) -> A.Comprehension:
+    if agg.func == "count":
+        if agg.arg is None:
+            return A.Comprehension(get_monoid("count"), A.Const(1), qualifiers)
+        arg = _expr(agg.arg, scope)
+        if agg.distinct:
+            inner = A.Comprehension(get_monoid("set"), arg, qualifiers)
+            var = A.fresh_var("d")
+            return A.Comprehension(
+                get_monoid("count"), A.Const(1), (A.Generator(var, inner),)
+            )
+        head = A.If(A.BinOp("=", arg, A.Null()), A.Const(0), A.Const(1))
+        return A.Comprehension(get_monoid("sum"), head, qualifiers)
+    monoid = get_monoid(_AGG_MONOID[agg.func])
+    if agg.arg is None:
+        raise ParseError(f"{agg.func.upper()} requires an argument")
+    return A.Comprehension(monoid, _expr(agg.arg, scope), qualifiers)
+
+
+def _translate_group_by(stmt: S.SelectStmt, scope: _Scope,
+                        qualifiers: tuple) -> A.Expr:
+    """GROUP BY via the classic nested-comprehension encoding."""
+    key_exprs = [_expr(g, scope) for g in stmt.group_by]
+    key_names = [
+        _default_name(g, i) if isinstance(g, S.ColumnRef) else f"k{i}"
+        for i, g in enumerate(stmt.group_by)
+    ]
+    keys_head = A.RecordCons(tuple(zip(key_names, key_exprs)))
+    keys_comp = A.Comprehension(get_monoid("set"), keys_head, qualifiers)
+
+    gvar = A.fresh_var("g")
+    # per-group qualifiers: original ones + key-equality correlation
+    corr = tuple(
+        A.Filter(A.BinOp("=", ke, A.Proj(A.Var(gvar), kn)))
+        for ke, kn in zip(key_exprs, key_names)
+    )
+    group_quals = qualifiers + corr
+
+    fields = []
+    for i, item in enumerate(stmt.items):
+        name = item.alias or _default_name(item.expr, i)
+        if isinstance(item.expr, S.Aggregate):
+            fields.append((name, _aggregate_comprehension(item.expr, scope, group_quals)))
+        else:
+            key_expr = _expr(item.expr, scope)
+            matched = None
+            for ke, kn in zip(key_exprs, key_names):
+                if ke == key_expr:
+                    matched = kn
+                    break
+            if matched is None:
+                raise ParseError(
+                    f"non-aggregated SELECT item {name!r} must appear in GROUP BY"
+                )
+            fields.append((name, A.Proj(A.Var(gvar), matched)))
+    head = A.RecordCons(tuple(fields))
+    quals: tuple[A.Qualifier, ...] = (A.Generator(gvar, keys_comp),)
+    if stmt.having is not None:
+        having_scope = scope  # aggregates in HAVING become correlated comps
+        quals = quals + (A.Filter(_having_expr(stmt.having, having_scope, group_quals)),)
+    return A.Comprehension(get_monoid("bag"), head, quals)
+
+
+def _having_expr(expr, scope: _Scope, group_quals: tuple) -> A.Expr:
+    if isinstance(expr, S.Aggregate):
+        return _aggregate_comprehension(expr, scope, group_quals)
+    if isinstance(expr, S.SQLBinOp):
+        return A.BinOp(
+            expr.op if expr.op != "<>" else "!=",
+            _having_expr(expr.left, scope, group_quals),
+            _having_expr(expr.right, scope, group_quals),
+        )
+    if isinstance(expr, S.SQLUnOp):
+        return A.UnOp(expr.op, _having_expr(expr.expr, scope, group_quals))
+    return _expr(expr, scope)
+
+
+def _translate_order_by(stmt: S.SelectStmt, scope: _Scope, qualifiers: tuple,
+                        head: A.Expr) -> A.Expr:
+    if len(stmt.order_by) != 1:
+        raise ParseError("only single-key ORDER BY is supported")
+    item = stmt.order_by[0]
+    key = _expr(item.expr, scope)
+    monoid = make_orderby(descending=item.descending)
+    pair = A.ListLit((key, head))
+    return A.Comprehension(monoid, pair, qualifiers)
+
+
+def _expr(expr, scope: _Scope) -> A.Expr:
+    if isinstance(expr, S.Literal):
+        return A.Null() if expr.value is None else A.Const(expr.value)
+    if isinstance(expr, S.ColumnRef):
+        if expr.name == "*":
+            raise ParseError("'*' is only valid as the whole select list")
+        return scope.resolve(expr)
+    if isinstance(expr, S.SQLBinOp):
+        return A.BinOp(expr.op, _expr(expr.left, scope), _expr(expr.right, scope))
+    if isinstance(expr, S.SQLUnOp):
+        return A.UnOp(expr.op, _expr(expr.expr, scope))
+    if isinstance(expr, S.FuncCall):
+        name = {"length": "len"}.get(expr.name, expr.name)
+        return A.Call(name, tuple(_expr(a, scope) for a in expr.args))
+    if isinstance(expr, S.InList):
+        result: A.Expr = A.BinOp(
+            "in", _expr(expr.expr, scope),
+            A.ListLit(tuple(_expr(i, scope) for i in expr.items)),
+        )
+        return A.UnOp("not", result) if expr.negated else result
+    if isinstance(expr, S.Aggregate):
+        raise ParseError("aggregate used outside the SELECT list / HAVING")
+    raise ParseError(f"cannot translate SQL node {type(expr).__name__}")

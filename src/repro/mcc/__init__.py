@@ -1,0 +1,51 @@
+"""Monoid comprehension calculus: ViDa's internal "wrapping" query language.
+
+Public surface:
+
+- :func:`parse` — comprehension syntax → calculus AST
+- :func:`pretty` — AST → surface syntax
+- :func:`typecheck` — validate an AST against source schemas
+- :func:`normalize` — Fegaras–Maier rewrite rules to canonical form
+- :func:`translate` — canonical calculus → nested relational algebra
+- :mod:`monoids` — the monoid library (``get_monoid``)
+"""
+
+from .ast import (
+    BinOp,
+    Bind,
+    Call,
+    Comprehension,
+    Const,
+    Expr,
+    Filter,
+    Generator,
+    If,
+    Index,
+    Lambda,
+    ListLit,
+    Merge,
+    Null,
+    Proj,
+    Qualifier,
+    RecordCons,
+    Singleton,
+    UnOp,
+    Var,
+    Zero,
+    free_vars,
+    substitute,
+)
+from .monoids import Monoid, get_monoid, monoid_names
+from .normalize import normalize
+from .parser import parse
+from .pretty import pretty
+from .translate import translate
+from .typecheck import typecheck
+
+__all__ = [
+    "BinOp", "Bind", "Call", "Comprehension", "Const", "Expr", "Filter",
+    "Generator", "If", "Index", "Lambda", "ListLit", "Merge", "Monoid",
+    "Null", "Proj", "Qualifier", "RecordCons", "Singleton", "UnOp", "Var",
+    "Zero", "free_vars", "get_monoid", "monoid_names", "normalize", "parse",
+    "pretty", "substitute", "translate", "typecheck",
+]

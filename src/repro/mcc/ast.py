@@ -1,0 +1,454 @@
+"""Abstract syntax of the monoid comprehension calculus (paper Table 1).
+
+Expression forms::
+
+    NULL                          null value
+    Const(c)                      constant
+    Var(v)                        variable
+    Proj(e, A)                    record projection      e.A
+    RecordCons([(A1,e1),...])     record construction    (A1 := e1, ...)
+    If(e1, e2, e3)                conditional
+    BinOp(op, e1, e2)             primitive binary function
+    UnOp(op, e)                   negation / logical not
+    Lambda(v, e)                  function abstraction
+    Apply(e1, e2)                 function application
+    Zero(⊕)                       zero element
+    Singleton(⊕, e)               singleton construction U⊕(e)
+    Merge(⊕, e1, e2)              merging e1 ⊕ e2
+    Comprehension(⊕, e, [q...])   ⊕{ e | q1, ..., qn }
+    Index(e, [i...])              array subscript e[i, j]
+    ListLit([e...])               list literal
+
+Qualifiers::
+
+    Generator(v, e)               v <- e
+    Filter(p)                     predicate
+    Bind(v, e)                    v := e   (let-binding)
+
+All nodes are immutable dataclasses; ``children()``/``replace_children()``
+give a uniform traversal interface used by the normalizer and translators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .monoids import Monoid
+
+
+class Expr:
+    """Base class for calculus expressions."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+    def replace_children(self, new: Sequence["Expr"]) -> "Expr":
+        if new:
+            raise ValueError(f"{type(self).__name__} has no children")
+        return self
+
+
+class Qualifier:
+    """Base class for comprehension qualifiers."""
+
+
+@dataclass(frozen=True)
+class Null(Expr):
+    def __repr__(self) -> str:
+        return "Null()"
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant: int, float, bool, or str."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Proj(Expr):
+    """Record projection ``e.field`` (also used for JSON path steps)."""
+
+    expr: Expr
+    attr: str
+
+    def children(self):
+        return (self.expr,)
+
+    def replace_children(self, new):
+        (expr,) = new
+        return Proj(expr, self.attr)
+
+
+@dataclass(frozen=True)
+class RecordCons(Expr):
+    """Record construction ``(a := e1, b := e2)``."""
+
+    fields: tuple[tuple[str, Expr], ...]
+
+    def children(self):
+        return tuple(e for _n, e in self.fields)
+
+    def replace_children(self, new):
+        names = [n for n, _e in self.fields]
+        return RecordCons(tuple(zip(names, new)))
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    cond: Expr
+    then: Expr
+    els: Expr
+
+    def children(self):
+        return (self.cond, self.then, self.els)
+
+    def replace_children(self, new):
+        c, t, e = new
+        return If(c, t, e)
+
+
+#: Binary operators with their surface syntax. '=' is structural equality.
+BINOPS = ("=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "and", "or", "in", "like")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in BINOPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def children(self):
+        return (self.left, self.right)
+
+    def replace_children(self, new):
+        l, r = new
+        return BinOp(self.op, l, r)
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str  # 'not' | '-'
+    expr: Expr
+
+    def children(self):
+        return (self.expr,)
+
+    def replace_children(self, new):
+        (e,) = new
+        return UnOp(self.op, e)
+
+
+@dataclass(frozen=True)
+class Lambda(Expr):
+    param: str
+    body: Expr
+
+    def children(self):
+        return (self.body,)
+
+    def replace_children(self, new):
+        (b,) = new
+        return Lambda(self.param, b)
+
+
+@dataclass(frozen=True)
+class Apply(Expr):
+    func: Expr
+    arg: Expr
+
+    def children(self):
+        return (self.func, self.arg)
+
+    def replace_children(self, new):
+        f, a = new
+        return Apply(f, a)
+
+
+@dataclass(frozen=True)
+class Zero(Expr):
+    """The zero element Z⊕ of a monoid."""
+
+    monoid: Monoid
+
+    def children(self):
+        return ()
+
+
+@dataclass(frozen=True)
+class Singleton(Expr):
+    """Singleton construction U⊕(e)."""
+
+    monoid: Monoid
+    expr: Expr
+
+    def children(self):
+        return (self.expr,)
+
+    def replace_children(self, new):
+        (e,) = new
+        return Singleton(self.monoid, e)
+
+
+@dataclass(frozen=True)
+class Merge(Expr):
+    """Monoid merge ``e1 ⊕ e2``."""
+
+    monoid: Monoid
+    left: Expr
+    right: Expr
+
+    def children(self):
+        return (self.left, self.right)
+
+    def replace_children(self, new):
+        l, r = new
+        return Merge(self.monoid, l, r)
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array subscription ``e[i, j]``."""
+
+    expr: Expr
+    indices: tuple[Expr, ...]
+
+    def children(self):
+        return (self.expr,) + self.indices
+
+    def replace_children(self, new):
+        return Index(new[0], tuple(new[1:]))
+
+
+@dataclass(frozen=True)
+class ListLit(Expr):
+    items: tuple[Expr, ...]
+
+    def children(self):
+        return self.items
+
+    def replace_children(self, new):
+        return ListLit(tuple(new))
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Builtin function call, e.g. ``len(e)``, ``abs(e)``, ``lower(e)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def children(self):
+        return self.args
+
+    def replace_children(self, new):
+        return Call(self.name, tuple(new))
+
+
+@dataclass(frozen=True)
+class Generator(Qualifier):
+    """``v <- e``: v ranges over the collection produced by e."""
+
+    var: str
+    source: Expr
+
+
+@dataclass(frozen=True)
+class Filter(Qualifier):
+    """A boolean predicate qualifier."""
+
+    pred: Expr
+
+
+@dataclass(frozen=True)
+class Bind(Qualifier):
+    """``v := e``: a let binding visible to subsequent qualifiers and the head."""
+
+    var: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Comprehension(Expr):
+    """``⊕{ e | q1, ..., qn }`` — surface syntax ``for {q...} yield ⊕ e``."""
+
+    monoid: Monoid
+    head: Expr
+    qualifiers: tuple[Qualifier, ...]
+
+    def children(self):
+        out: list[Expr] = []
+        for q in self.qualifiers:
+            if isinstance(q, Generator):
+                out.append(q.source)
+            elif isinstance(q, Filter):
+                out.append(q.pred)
+            elif isinstance(q, Bind):
+                out.append(q.expr)
+        out.append(self.head)
+        return tuple(out)
+
+    def replace_children(self, new):
+        new = list(new)
+        quals: list[Qualifier] = []
+        for q in self.qualifiers:
+            e = new.pop(0)
+            if isinstance(q, Generator):
+                quals.append(Generator(q.var, e))
+            elif isinstance(q, Filter):
+                quals.append(Filter(e))
+            else:
+                quals.append(Bind(q.var, e))  # type: ignore[union-attr]
+        (head,) = new
+        return Comprehension(self.monoid, head, tuple(quals))
+
+
+# ---------------------------------------------------------------------------
+# Traversal / analysis helpers
+# ---------------------------------------------------------------------------
+
+_fresh_counter = itertools.count()
+
+
+def fresh_var(prefix: str = "v") -> str:
+    """Return a globally fresh variable name (for capture-avoiding renaming)."""
+    return f"_{prefix}{next(_fresh_counter)}"
+
+
+def walk(expr: Expr) -> Iterable[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def free_vars(expr: Expr) -> set[str]:
+    """The free variables of ``expr`` (respecting lambda/comprehension binders)."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Lambda):
+        return free_vars(expr.body) - {expr.param}
+    if isinstance(expr, Comprehension):
+        bound: set[str] = set()
+        out: set[str] = set()
+        for q in expr.qualifiers:
+            if isinstance(q, Generator):
+                out |= free_vars(q.source) - bound
+                bound.add(q.var)
+            elif isinstance(q, Filter):
+                out |= free_vars(q.pred) - bound
+            elif isinstance(q, Bind):
+                out |= free_vars(q.expr) - bound
+                bound.add(q.var)
+        out |= free_vars(expr.head) - bound
+        return out
+    out = set()
+    for child in expr.children():
+        out |= free_vars(child)
+    return out
+
+
+def substitute(expr: Expr, var: str, value: Expr) -> Expr:
+    """Capture-avoiding substitution ``expr[var := value]``."""
+    if isinstance(expr, Var):
+        return value if expr.name == var else expr
+    if isinstance(expr, Lambda):
+        if expr.param == var:
+            return expr
+        if expr.param in free_vars(value):
+            renamed = fresh_var(expr.param)
+            body = substitute(expr.body, expr.param, Var(renamed))
+            return Lambda(renamed, substitute(body, var, value))
+        return Lambda(expr.param, substitute(expr.body, var, value))
+    if isinstance(expr, Comprehension):
+        return _subst_comprehension(expr, var, value)
+    children = expr.children()
+    if not children:
+        return expr
+    return expr.replace_children([substitute(c, var, value) for c in children])
+
+
+def _subst_comprehension(comp: Comprehension, var: str, value: Expr) -> Comprehension:
+    value_free = free_vars(value)
+    quals: list[Qualifier] = []
+    head = comp.head
+    rest: list[Qualifier] = list(comp.qualifiers)
+    shadowed = False
+    renames: dict[str, str] = {}
+
+    def apply_renames(e: Expr) -> Expr:
+        for old, new in renames.items():
+            e = substitute(e, old, Var(new))
+        return e
+
+    i = 0
+    while i < len(rest):
+        q = rest[i]
+        i += 1
+        if isinstance(q, Generator):
+            src = apply_renames(q.source)
+            if not shadowed:
+                src = substitute(src, var, value)
+            bind_name = q.var
+            if bind_name == var:
+                shadowed = True
+            elif bind_name in value_free and not shadowed:
+                new_name = fresh_var(bind_name)
+                renames[bind_name] = new_name
+                bind_name = new_name
+            quals.append(Generator(bind_name, src))
+        elif isinstance(q, Filter):
+            p = apply_renames(q.pred)
+            if not shadowed:
+                p = substitute(p, var, value)
+            quals.append(Filter(p))
+        elif isinstance(q, Bind):
+            e = apply_renames(q.expr)
+            if not shadowed:
+                e = substitute(e, var, value)
+            bind_name = q.var
+            if bind_name == var:
+                shadowed = True
+            elif bind_name in value_free and not shadowed:
+                new_name = fresh_var(bind_name)
+                renames[bind_name] = new_name
+                bind_name = new_name
+            quals.append(Bind(bind_name, e))
+    head = apply_renames(head)
+    if not shadowed:
+        head = substitute(head, var, value)
+    return Comprehension(comp.monoid, head, tuple(quals))
+
+
+def conjuncts(pred: Expr) -> list[Expr]:
+    """Split a predicate into its top-level AND-conjuncts."""
+    if isinstance(pred, BinOp) and pred.op == "and":
+        return conjuncts(pred.left) + conjuncts(pred.right)
+    return [pred]
+
+
+def make_conjunction(preds: Sequence[Expr]) -> Expr:
+    """Rebuild a conjunction from a list of predicates (True if empty)."""
+    if not preds:
+        return Const(True)
+    out = preds[0]
+    for p in preds[1:]:
+        out = BinOp("and", out, p)
+    return out

@@ -1,0 +1,129 @@
+"""Tokenizer for the ViDa comprehension surface syntax.
+
+The syntax resembles Scala sequence comprehensions (paper Section 3.2)::
+
+    for { e <- Employees, d <- Departments,
+          e.deptNo = d.id, d.deptName = "HR" } yield sum 1
+
+Tokens carry 1-based line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = frozenset(
+    ["for", "yield", "if", "then", "else", "true", "false", "null",
+     "and", "or", "not", "in", "like"]
+)
+
+#: Multi-character operators must be matched before their prefixes.
+SYMBOLS = ["<-", ":=", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%",
+           "(", ")", "{", "}", "[", "]", ",", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # IDENT, INT, FLOAT, STRING, KEYWORD, SYMBOL, EOF
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on illegal characters.
+
+    >>> [t.value for t in tokenize("for { x <- S } yield sum x.a")][:4]
+    ['for', '{', 'x', '<-']
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            buf: list[str] = []
+            while j < n and text[j] != quote:
+                if text[j] == "\\" and j + 1 < n:
+                    esc = text[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(esc, esc))
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, col)
+            tokens.append(Token("STRING", "".join(buf), line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Do not swallow '.' if it starts a projection (e.g. 1 .a
+                    # never happens, but `arr[0].x` must not lex 0. as float).
+                    if j + 1 < n and not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    text[j + 1].isdigit() or text[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2 if text[j + 1] in "+-" else 1
+                else:
+                    break
+            word = text[i:j]
+            kind = "FLOAT" if (seen_dot or seen_exp) else "INT"
+            tokens.append(Token(kind, word, line, col))
+            col += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "KEYWORD" if word in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, word, line, col))
+            col += j - i
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("SYMBOL", sym, line, col))
+                col += len(sym)
+                i += len(sym)
+                break
+        else:
+            raise ParseError(f"illegal character {ch!r}", line, col)
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,219 @@
+"""Normalization of monoid comprehensions (Fegaras & Maier, TODS 2000, §5).
+
+The paper (Section 4) describes this phase as "applying a series of rewrite
+rules to optimize the query (e.g., remove intermediate variables, simplify
+boolean expressions, etc.)" before translation to the nested relational
+algebra. The rules implemented here:
+
+==== ======================================================================
+N1   beta reduction:          (λv.e1) e2            →  e1[v := e2]
+N2   projection:              ⟨...,A=e,...⟩.A        →  e
+N3   conditional folding:     if true/false then...  →  branch
+N4   let elimination:         ⊕{e | .., v := e', ..} →  substitute v
+N5   empty generator:         ⊕{e | .., v ← Z⊗, ..}  →  Z⊕
+N6   singleton generator:     ⊕{e | .., v ← U⊗(e'),.} → substitute v
+N7   merge generator:         ⊕{e | .., v ← e1⊗e2,.} →  ⊕-merge of two
+                                                        comprehensions
+N8   generator unnesting:     ⊕{e | .., v ← ⊗{e'|q̄},..}
+                              → ⊕{e[v:=e'] | .., q̄, ..}   (when ⊗ ⊑ ⊕)
+N9   filter folding:          true filters dropped; false filter → Z⊕
+N10  conjunction splitting:   filter (p and q) → filter p, filter q
+N11  if-generator splitting:  v ← (if p then e1 else e2) is rewritten to
+                              two guarded comprehensions merged with ⊕
+==== ======================================================================
+
+Normalization is run to a fixpoint; each pass is a single bottom-up rewrite
+sweep. The result is a *canonical form* where generators range only over
+source collections or paths (no comprehension-valued generators remain when
+unnesting is sound).
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from .monoids import Monoid, subsumes
+
+
+def normalize(expr: A.Expr, max_passes: int = 50) -> A.Expr:
+    """Rewrite ``expr`` to normal form (fixpoint of the rules above)."""
+    current = expr
+    for _ in range(max_passes):
+        rewritten = _rewrite(current)
+        if rewritten == current:
+            return current
+        current = rewritten
+    return current
+
+
+# ---------------------------------------------------------------------------
+
+
+def _rewrite(expr: A.Expr) -> A.Expr:
+    """One bottom-up rewrite pass."""
+    # Rewrite children first.
+    if isinstance(expr, A.Comprehension):
+        expr = _rewrite_comprehension_children(expr)
+    else:
+        children = expr.children()
+        if children:
+            expr = expr.replace_children([_rewrite(c) for c in children])
+
+    # N1 — beta reduction
+    if isinstance(expr, A.Apply) and isinstance(expr.func, A.Lambda):
+        return A.substitute(expr.func.body, expr.func.param, expr.arg)
+
+    # N2 — record projection on a literal record
+    if isinstance(expr, A.Proj) and isinstance(expr.expr, A.RecordCons):
+        for name, value in expr.expr.fields:
+            if name == expr.attr:
+                return value
+
+    # N3 — conditional folding + boolean simplification
+    if isinstance(expr, A.If) and isinstance(expr.cond, A.Const):
+        return expr.then if expr.cond.value else expr.els
+    if isinstance(expr, A.BinOp):
+        simplified = _simplify_bool(expr)
+        if simplified is not None:
+            return simplified
+    if isinstance(expr, A.UnOp) and isinstance(expr.expr, A.Const):
+        if expr.op == "not":
+            return A.Const(not expr.expr.value)
+        if expr.op == "-" and isinstance(expr.expr.value, (int, float)) \
+                and not isinstance(expr.expr.value, bool):
+            return A.Const(-expr.expr.value)
+
+    if isinstance(expr, A.Comprehension):
+        return _rewrite_comprehension(expr)
+    return expr
+
+
+def _simplify_bool(expr: A.BinOp) -> A.Expr | None:
+    left, right, op = expr.left, expr.right, expr.op
+    if op == "and":
+        if isinstance(left, A.Const):
+            return right if left.value else A.Const(False)
+        if isinstance(right, A.Const):
+            return left if right.value else A.Const(False)
+    if op == "or":
+        if isinstance(left, A.Const):
+            return A.Const(True) if left.value else right
+        if isinstance(right, A.Const):
+            return A.Const(True) if right.value else left
+    if isinstance(left, A.Const) and isinstance(right, A.Const):
+        if op in ("=", "!=", "<", "<=", ">", ">="):
+            table = {
+                "=": left.value == right.value,
+                "!=": left.value != right.value,
+                "<": left.value < right.value,
+                "<=": left.value <= right.value,
+                ">": left.value > right.value,
+                ">=": left.value >= right.value,
+            }
+            return A.Const(table[op])
+        if op in ("+", "-", "*", "/", "%"):
+            try:
+                table = {
+                    "+": lambda: left.value + right.value,
+                    "-": lambda: left.value - right.value,
+                    "*": lambda: left.value * right.value,
+                    "/": lambda: left.value / right.value,
+                    "%": lambda: left.value % right.value,
+                }
+                return A.Const(table[op]())
+            except (ZeroDivisionError, TypeError):
+                return None
+    return None
+
+
+def _rewrite_comprehension_children(comp: A.Comprehension) -> A.Comprehension:
+    quals: list[A.Qualifier] = []
+    for q in comp.qualifiers:
+        if isinstance(q, A.Generator):
+            quals.append(A.Generator(q.var, _rewrite(q.source)))
+        elif isinstance(q, A.Filter):
+            quals.append(A.Filter(_rewrite(q.pred)))
+        else:
+            quals.append(A.Bind(q.var, _rewrite(q.expr)))
+    return A.Comprehension(comp.monoid, _rewrite(comp.head), tuple(quals))
+
+
+def _rewrite_comprehension(comp: A.Comprehension) -> A.Expr:
+    monoid = comp.monoid
+    quals = list(comp.qualifiers)
+
+    for i, q in enumerate(quals):
+        before = quals[:i]
+        after = quals[i + 1:]
+
+        # N4 — let elimination (substitute into the remainder)
+        if isinstance(q, A.Bind):
+            rest = A.Comprehension(monoid, comp.head, tuple(after))
+            rest = A._subst_comprehension(rest, q.var, q.expr)
+            return A.Comprehension(monoid, rest.head, tuple(before) + rest.qualifiers)
+
+        if isinstance(q, A.Filter):
+            # N9 — constant filters
+            if isinstance(q.pred, A.Const):
+                if q.pred.value:
+                    return A.Comprehension(monoid, comp.head, tuple(before + after))
+                return A.Zero(monoid)
+            # N10 — split conjunctions
+            parts = A.conjuncts(q.pred)
+            if len(parts) > 1:
+                split = [A.Filter(p) for p in parts]
+                return A.Comprehension(monoid, comp.head, tuple(before + split + after))
+
+        if isinstance(q, A.Generator):
+            src = q.source
+            # N5 — generator over a zero collection
+            if isinstance(src, A.Zero):
+                return A.Zero(monoid)
+            if isinstance(src, A.ListLit) and not src.items:
+                return A.Zero(monoid)
+            # N6 — generator over a singleton
+            if isinstance(src, A.Singleton):
+                rest = A.Comprehension(monoid, comp.head, tuple(after))
+                rest = A._subst_comprehension(rest, q.var, src.expr)
+                return A.Comprehension(
+                    monoid, rest.head, tuple(before) + rest.qualifiers
+                )
+            if isinstance(src, A.ListLit) and len(src.items) == 1:
+                rest = A.Comprehension(monoid, comp.head, tuple(after))
+                rest = A._subst_comprehension(rest, q.var, src.items[0])
+                return A.Comprehension(
+                    monoid, rest.head, tuple(before) + rest.qualifiers
+                )
+            # N7 — generator over a merge
+            if isinstance(src, A.Merge) and monoid.commutative:
+                left = A.Comprehension(
+                    monoid, comp.head,
+                    tuple(before) + (A.Generator(q.var, src.left),) + tuple(after),
+                )
+                right = A.Comprehension(
+                    monoid, comp.head,
+                    tuple(before) + (A.Generator(q.var, src.right),) + tuple(after),
+                )
+                return A.Merge(monoid, left, right)
+            # N8 — unnest a comprehension-valued generator
+            if isinstance(src, A.Comprehension) and subsumes(monoid, src.monoid):
+                inner = src
+                rest = A.Comprehension(monoid, comp.head, tuple(after))
+                rest = A._subst_comprehension(rest, q.var, inner.head)
+                new_quals = tuple(before) + inner.qualifiers + rest.qualifiers
+                return A.Comprehension(monoid, rest.head, new_quals)
+            # N11 — generator over a conditional collection
+            if isinstance(src, A.If):
+                then_comp = A.Comprehension(
+                    monoid, comp.head,
+                    tuple(before) + (A.Filter(src.cond), A.Generator(q.var, src.then))
+                    + tuple(after),
+                )
+                else_comp = A.Comprehension(
+                    monoid, comp.head,
+                    tuple(before)
+                    + (A.Filter(A.UnOp("not", src.cond)), A.Generator(q.var, src.els))
+                    + tuple(after),
+                )
+                if monoid.commutative:
+                    return A.Merge(monoid, then_comp, else_comp)
+    return comp

@@ -1,0 +1,310 @@
+"""Recursive-descent parser for the comprehension surface syntax.
+
+Grammar (precedence low to high)::
+
+    expr        := comprehension | conditional | or_expr
+    comprehension := 'for' '{' qualifier (',' qualifier)* '}'
+                     'yield' monoid expr
+    conditional := 'if' expr 'then' expr 'else' expr
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := cmp_expr ('and' cmp_expr)*
+    cmp_expr    := add_expr (('='|'!='|'<'|'<='|'>'|'>='|'in'|'like') add_expr)?
+    add_expr    := mul_expr (('+'|'-') mul_expr)*
+    mul_expr    := unary (('*'|'/'|'%') unary)*
+    unary       := ('-'|'not') unary | postfix
+    postfix     := primary ('.' IDENT | '[' expr (',' expr)* ']')*
+    primary     := literal | IDENT | IDENT '(' args ')'
+                 | '(' record_or_paren | '[' list ']'
+    record_or_paren := IDENT ':=' ...  => record construction, else grouping
+    qualifier   := IDENT '<-' expr | IDENT ':=' expr | expr
+    monoid      := IDENT ('(' const (',' const)* ')')?
+
+Equality is spelled ``=`` (the paper's notation); the parser produces
+:class:`~repro.mcc.ast.BinOp` nodes with op ``'='``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast as A
+from .lexer import Token, tokenize
+from .monoids import get_monoid, monoid_names
+
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Builtin scalar functions callable in queries.
+BUILTIN_FUNCS = frozenset(
+    ["len", "abs", "lower", "upper", "substr", "round", "float", "int", "str",
+     "startswith", "endswith", "contains", "sqrt", "exp", "log"]
+)
+
+
+class Parser:
+    """Single-use parser over a token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token utilities ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value or kind
+            raise ParseError(f"expected {want!r}, found {tok.value!r}", tok.line, tok.column)
+        return self.advance()
+
+    def match(self, kind: str, value: str | None = None) -> bool:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            self.advance()
+            return True
+        return False
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse(self) -> A.Expr:
+        expr = self.expression()
+        tok = self.peek()
+        if tok.kind != "EOF":
+            raise ParseError(f"unexpected trailing input {tok.value!r}", tok.line, tok.column)
+        return expr
+
+    # -- expression grammar ---------------------------------------------------
+
+    def expression(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "KEYWORD" and tok.value == "for":
+            return self.comprehension()
+        if tok.kind == "KEYWORD" and tok.value == "if":
+            return self.conditional()
+        return self.or_expr()
+
+    def comprehension(self) -> A.Expr:
+        self.expect("KEYWORD", "for")
+        self.expect("SYMBOL", "{")
+        qualifiers: list[A.Qualifier] = []
+        if not (self.peek().kind == "SYMBOL" and self.peek().value == "}"):
+            qualifiers.append(self.qualifier())
+            while self.match("SYMBOL", ","):
+                qualifiers.append(self.qualifier())
+        self.expect("SYMBOL", "}")
+        self.expect("KEYWORD", "yield")
+        monoid = self.monoid()
+        head = self.expression()
+        return A.Comprehension(monoid, head, tuple(qualifiers))
+
+    def qualifier(self) -> A.Qualifier:
+        tok = self.peek()
+        nxt = self.peek(1)
+        if tok.kind == "IDENT" and nxt.kind == "SYMBOL" and nxt.value == "<-":
+            self.advance()
+            self.advance()
+            return A.Generator(tok.value, self.expression())
+        if tok.kind == "IDENT" and nxt.kind == "SYMBOL" and nxt.value == ":=":
+            self.advance()
+            self.advance()
+            return A.Bind(tok.value, self.expression())
+        return A.Filter(self.expression())
+
+    def monoid(self):
+        tok = self.expect("IDENT")
+        name = tok.value
+        params: tuple = ()
+        if name in ("topk",) and self.match("SYMBOL", "("):
+            consts = [self.const_token()]
+            while self.match("SYMBOL", ","):
+                consts.append(self.const_token())
+            self.expect("SYMBOL", ")")
+            params = tuple(consts)
+        try:
+            return get_monoid(name, params)
+        except KeyError:
+            raise ParseError(
+                f"unknown monoid {name!r}; expected one of {', '.join(monoid_names())}",
+                tok.line, tok.column,
+            ) from None
+
+    def const_token(self):
+        tok = self.advance()
+        if tok.kind == "INT":
+            return int(tok.value)
+        if tok.kind == "FLOAT":
+            return float(tok.value)
+        if tok.kind == "STRING":
+            return tok.value
+        raise ParseError(f"expected constant, found {tok.value!r}", tok.line, tok.column)
+
+    def conditional(self) -> A.Expr:
+        self.expect("KEYWORD", "if")
+        cond = self.expression()
+        self.expect("KEYWORD", "then")
+        then = self.expression()
+        self.expect("KEYWORD", "else")
+        els = self.expression()
+        return A.If(cond, then, els)
+
+    def or_expr(self) -> A.Expr:
+        left = self.and_expr()
+        while self.peek().kind == "KEYWORD" and self.peek().value == "or":
+            self.advance()
+            left = A.BinOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> A.Expr:
+        left = self.cmp_expr()
+        while self.peek().kind == "KEYWORD" and self.peek().value == "and":
+            self.advance()
+            left = A.BinOp("and", left, self.cmp_expr())
+        return left
+
+    def cmp_expr(self) -> A.Expr:
+        left = self.add_expr()
+        tok = self.peek()
+        if tok.kind == "SYMBOL" and tok.value in _CMP_OPS:
+            self.advance()
+            return A.BinOp(tok.value, left, self.add_expr())
+        if tok.kind == "KEYWORD" and tok.value in ("in", "like"):
+            self.advance()
+            return A.BinOp(tok.value, left, self.add_expr())
+        return left
+
+    def add_expr(self) -> A.Expr:
+        left = self.mul_expr()
+        while True:
+            tok = self.peek()
+            if tok.kind == "SYMBOL" and tok.value in ("+", "-"):
+                self.advance()
+                left = A.BinOp(tok.value, left, self.mul_expr())
+            else:
+                return left
+
+    def mul_expr(self) -> A.Expr:
+        left = self.unary()
+        while True:
+            tok = self.peek()
+            if tok.kind == "SYMBOL" and tok.value in ("*", "/", "%"):
+                self.advance()
+                left = A.BinOp(tok.value, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "SYMBOL" and tok.value == "-":
+            self.advance()
+            return A.UnOp("-", self.unary())
+        if tok.kind == "KEYWORD" and tok.value == "not":
+            self.advance()
+            return A.UnOp("not", self.unary())
+        return self.postfix()
+
+    def postfix(self) -> A.Expr:
+        expr = self.primary()
+        while True:
+            tok = self.peek()
+            if tok.kind == "SYMBOL" and tok.value == ".":
+                self.advance()
+                attr = self.expect("IDENT")
+                expr = A.Proj(expr, attr.value)
+            elif tok.kind == "SYMBOL" and tok.value == "[":
+                self.advance()
+                indices = [self.expression()]
+                while self.match("SYMBOL", ","):
+                    indices.append(self.expression())
+                self.expect("SYMBOL", "]")
+                expr = A.Index(expr, tuple(indices))
+            else:
+                return expr
+
+    def primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.advance()
+            return A.Const(int(tok.value))
+        if tok.kind == "FLOAT":
+            self.advance()
+            return A.Const(float(tok.value))
+        if tok.kind == "STRING":
+            self.advance()
+            return A.Const(tok.value)
+        if tok.kind == "KEYWORD":
+            if tok.value == "true":
+                self.advance()
+                return A.Const(True)
+            if tok.value == "false":
+                self.advance()
+                return A.Const(False)
+            if tok.value == "null":
+                self.advance()
+                return A.Null()
+            if tok.value in ("for", "if"):
+                return self.expression()
+            raise ParseError(f"unexpected keyword {tok.value!r}", tok.line, tok.column)
+        if tok.kind == "IDENT":
+            nxt = self.peek(1)
+            if nxt.kind == "SYMBOL" and nxt.value == "(" and tok.value in BUILTIN_FUNCS:
+                self.advance()
+                self.advance()
+                args: list[A.Expr] = []
+                if not (self.peek().kind == "SYMBOL" and self.peek().value == ")"):
+                    args.append(self.expression())
+                    while self.match("SYMBOL", ","):
+                        args.append(self.expression())
+                self.expect("SYMBOL", ")")
+                return A.Call(tok.value, tuple(args))
+            self.advance()
+            return A.Var(tok.value)
+        if tok.kind == "SYMBOL" and tok.value == "(":
+            self.advance()
+            return self._record_or_group()
+        if tok.kind == "SYMBOL" and tok.value == "[":
+            self.advance()
+            items: list[A.Expr] = []
+            if not (self.peek().kind == "SYMBOL" and self.peek().value == "]"):
+                items.append(self.expression())
+                while self.match("SYMBOL", ","):
+                    items.append(self.expression())
+            self.expect("SYMBOL", "]")
+            return A.ListLit(tuple(items))
+        raise ParseError(f"unexpected token {tok.value!r}", tok.line, tok.column)
+
+    def _record_or_group(self) -> A.Expr:
+        """After consuming '(': record construction if ``IDENT :=`` follows."""
+        tok = self.peek()
+        nxt = self.peek(1)
+        if tok.kind == "IDENT" and nxt.kind == "SYMBOL" and nxt.value == ":=":
+            fields: list[tuple[str, A.Expr]] = []
+            while True:
+                name = self.expect("IDENT").value
+                self.expect("SYMBOL", ":=")
+                fields.append((name, self.expression()))
+                if not self.match("SYMBOL", ","):
+                    break
+            self.expect("SYMBOL", ")")
+            return A.RecordCons(tuple(fields))
+        inner = self.expression()
+        self.expect("SYMBOL", ")")
+        return inner
+
+
+def parse(text: str) -> A.Expr:
+    """Parse comprehension-syntax query text into a calculus expression.
+
+    >>> from repro.mcc import parser
+    >>> e = parser.parse('for { x <- S, x.a > 3 } yield sum x.a')
+    >>> type(e).__name__
+    'Comprehension'
+    """
+    return Parser(text).parse()

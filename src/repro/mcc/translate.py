@@ -1,0 +1,119 @@
+"""Translation of normalized comprehensions into the nested relational algebra.
+
+Follows the left-to-right qualifier processing of Fegaras & Maier: each
+generator extends the current plan (scan, join, or unnest), each filter
+becomes a selection, and the head becomes the final :class:`ReduceOp`.
+
+Generator classification:
+
+- ``v <- Name`` where ``Name`` is a registered source  → :class:`ScanOp`
+  (joined to the current plan if one exists);
+- ``v <- e.path...`` rooted at an already-bound variable → :class:`UnnestOp`
+  (dependent/correlated binding);
+- ``v <- <expr>`` with no plan-bound free variables → :class:`ExprScanOp`.
+
+Nested comprehensions remaining in the head or in predicates after
+normalization (genuinely nested queries, e.g. building a sub-collection per
+result record) are kept as expressions; the executors evaluate them as
+correlated subplans, and the optimizer may rewrite grouping-shaped ones to
+:class:`NestOp` (see ``repro.core.optimizer``).
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanningError
+from . import ast as A
+from .algebra import (
+    AlgNode,
+    ExprScanOp,
+    JoinOp,
+    ReduceOp,
+    ScanOp,
+    SelectOp,
+    UnnestOp,
+)
+
+
+def translate(comp: A.Comprehension, source_names: set[str] | frozenset[str]) -> ReduceOp:
+    """Translate a (normalized) comprehension into an algebra plan.
+
+    ``source_names`` is the set of catalog source names; free variables of
+    the comprehension must be drawn from it.
+    """
+    plan: AlgNode | None = None
+    bound: set[str] = set()
+    pending_filters: list[A.Expr] = []
+
+    for q in comp.qualifiers:
+        if isinstance(q, A.Generator):
+            plan = _extend_with_generator(plan, q, bound, source_names)
+            bound.add(q.var)
+            # Filters seen before any generator (constants / outer-correlated
+            # predicates) attach as soon as a plan exists.
+            while pending_filters and plan is not None:
+                plan = SelectOp(plan, pending_filters.pop(0))
+        elif isinstance(q, A.Filter):
+            if plan is None:
+                pending_filters.append(q.pred)
+            else:
+                plan = SelectOp(plan, q.pred)
+        elif isinstance(q, A.Bind):
+            # Normalization eliminates binds; tolerate leftovers by inlining.
+            raise PlanningError(
+                f"let-binding {q.var!r} survived normalization; normalize() first"
+            )
+        else:
+            raise PlanningError(f"unknown qualifier {type(q).__name__}")
+
+    if plan is None:
+        # Generator-free comprehension: reduces a single unit row, possibly
+        # guarded by constant filters: for { p } yield sum e
+        plan = ExprScanOp(A.ListLit((A.Const(0),)), A.fresh_var("unit"))
+        for pred in pending_filters:
+            plan = SelectOp(plan, pred)
+
+    return ReduceOp(plan, comp.monoid, comp.head)
+
+
+def _extend_with_generator(
+    plan: AlgNode | None,
+    gen: A.Generator,
+    bound: set[str],
+    source_names: set[str] | frozenset[str],
+) -> AlgNode:
+    src = gen.source
+    free = A.free_vars(src)
+
+    if isinstance(src, A.Var) and src.name in source_names:
+        scan: AlgNode = ScanOp(src.name, gen.var)
+        if plan is None:
+            return scan
+        return JoinOp(plan, scan, A.Const(True))
+
+    if free & bound:
+        # Dependent generator: a path over already-bound variables.
+        if plan is None:
+            raise PlanningError(
+                f"generator {gen.var!r} depends on unbound variables {free & bound}"
+            )
+        return UnnestOp(plan, src, gen.var)
+
+    unknown = free - set(source_names)
+    if isinstance(src, A.Var) and src.name not in source_names:
+        raise PlanningError(f"unknown source {src.name!r}")
+    if unknown:
+        raise PlanningError(f"generator over expression with unbound variables {unknown}")
+
+    scan = ExprScanOp(src, gen.var)
+    if plan is None:
+        return scan
+    return JoinOp(plan, scan, A.Const(True))
+
+
+def referenced_sources(expr: A.Expr, source_names: set[str] | frozenset[str]) -> set[str]:
+    """All catalog sources mentioned anywhere in ``expr`` (incl. nested)."""
+    out: set[str] = set()
+    for node in A.walk(expr):
+        if isinstance(node, A.Var) and node.name in source_names:
+            out.add(node.name)
+    return out

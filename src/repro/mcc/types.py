@@ -1,0 +1,218 @@
+"""Type system for the monoid comprehension calculus.
+
+ViDa spans several data models (Section 3 of the paper): flat relations,
+nested objects (JSON), and multi-dimensional arrays. The type language here
+covers all of them:
+
+- primitives: ``int``, ``float``, ``bool``, ``string``, ``null``
+- records: ``Record(a=int, b=string)``
+- collections: ``set``/``bag``/``list`` of an element type
+- arrays: dimensioned collections, e.g. ``Array(Dim(i,int), Dim(j,int), elem)``
+- ``AnyType`` supports gradually-typed raw sources whose schema is unknown.
+
+Types are immutable value objects; equality is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+class Type:
+    """Base class for all calculus types."""
+
+    def is_collection(self) -> bool:
+        return isinstance(self, (CollectionType, ArrayType))
+
+    def is_numeric(self) -> bool:
+        return isinstance(self, PrimitiveType) and self.name in ("int", "float")
+
+
+@dataclass(frozen=True)
+class PrimitiveType(Type):
+    """A scalar type: one of int, float, bool, string, null."""
+
+    name: str
+
+    def __post_init__(self):
+        if self.name not in ("int", "float", "bool", "string", "null"):
+            raise ValueError(f"unknown primitive type: {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = PrimitiveType("int")
+FLOAT = PrimitiveType("float")
+BOOL = PrimitiveType("bool")
+STRING = PrimitiveType("string")
+NULL = PrimitiveType("null")
+
+
+@dataclass(frozen=True)
+class AnyType(Type):
+    """Unknown type; compatible with everything (gradual typing for raw data)."""
+
+    def __str__(self) -> str:
+        return "any"
+
+
+ANY = AnyType()
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """A record with named, typed fields. Field order is significant."""
+
+    fields: tuple[tuple[str, Type], ...]
+
+    @staticmethod
+    def of(mapping: Mapping[str, Type] | Sequence[tuple[str, Type]]) -> "RecordType":
+        if isinstance(mapping, Mapping):
+            return RecordType(tuple(mapping.items()))
+        return RecordType(tuple(mapping))
+
+    def field_type(self, name: str) -> Type | None:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}: {t}" for n, t in self.fields)
+        return f"record({inner})"
+
+
+@dataclass(frozen=True)
+class CollectionType(Type):
+    """A homogeneous collection: ``kind`` is one of set, bag, list."""
+
+    kind: str
+    elem: Type
+
+    def __post_init__(self):
+        if self.kind not in ("set", "bag", "list"):
+            raise ValueError(f"unknown collection kind: {self.kind!r}")
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.elem})"
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A named, typed array dimension, e.g. ``Dim('i', INT)``."""
+
+    name: str
+    type: Type = field(default=INT)
+
+    def __str__(self) -> str:
+        return f"Dim({self.name}, {self.type})"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A multi-dimensional array of ``elem`` values (ROOT/FITS/NetCDF style)."""
+
+    dims: tuple[Dim, ...]
+    elem: Type
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(d) for d in self.dims)
+        return f"array({inner}; {self.elem})"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """The type of a lambda abstraction."""
+
+    param: Type
+    result: Type
+
+    def __str__(self) -> str:
+        return f"({self.param} -> {self.result})"
+
+
+def bag_of(elem: Type) -> CollectionType:
+    return CollectionType("bag", elem)
+
+
+def set_of(elem: Type) -> CollectionType:
+    return CollectionType("set", elem)
+
+
+def list_of(elem: Type) -> CollectionType:
+    return CollectionType("list", elem)
+
+
+def unify(a: Type, b: Type) -> Type | None:
+    """Return the least common type of ``a`` and ``b``, or None if incompatible.
+
+    ``AnyType`` unifies with everything; int widens to float; null unifies
+    with any primitive (nullable scalars); records unify field-wise when they
+    share the same field names.
+    """
+    if isinstance(a, AnyType):
+        return b
+    if isinstance(b, AnyType):
+        return a
+    if a == b:
+        return a
+    if isinstance(a, PrimitiveType) and isinstance(b, PrimitiveType):
+        names = {a.name, b.name}
+        if names == {"int", "float"}:
+            return FLOAT
+        if "null" in names:
+            other = a if b.name == "null" else b
+            return other
+        return None
+    if isinstance(a, CollectionType) and isinstance(b, CollectionType):
+        elem = unify(a.elem, b.elem)
+        if elem is None:
+            return None
+        # bag absorbs list/set when kinds differ: queries may merge
+        # heterogeneous collections, losing order/uniqueness guarantees.
+        kind = a.kind if a.kind == b.kind else "bag"
+        return CollectionType(kind, elem)
+    if isinstance(a, RecordType) and isinstance(b, RecordType):
+        if a.field_names() != b.field_names():
+            return None
+        fields = []
+        for (name, ta), (_, tb) in zip(a.fields, b.fields):
+            t = unify(ta, tb)
+            if t is None:
+                return None
+            fields.append((name, t))
+        return RecordType(tuple(fields))
+    return None
+
+
+def type_of_python_value(value: object) -> Type:
+    """Infer the calculus type of a Python runtime value (for schema learning)."""
+    if value is None:
+        return NULL
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, dict):
+        return RecordType(tuple((k, type_of_python_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        elem: Type = ANY
+        for item in value:
+            t = type_of_python_value(item)
+            u = unify(elem, t)
+            elem = u if u is not None else ANY
+        return CollectionType("list", elem)
+    return ANY

@@ -1,0 +1,26 @@
+"""Storage substrate: tracked raw-file I/O, simulated devices, slotted pages,
+and a buffer pool. Raw-format plugins and the warehouse baselines build on
+this layer.
+"""
+
+from .buffer import BufferPool, BufferStats
+from .device import (
+    DRAM,
+    FLASH,
+    HDD,
+    PCM,
+    PROFILES,
+    DeviceProfile,
+    DeviceStats,
+    PlacementPlan,
+    StorageDevice,
+)
+from .io import FileFingerprint, IOStats, RawFile, file_size
+from .pages import PAGE_SIZE, HeapFile, SlottedPage, decode_tuple, encode_tuple
+
+__all__ = [
+    "BufferPool", "BufferStats", "DeviceProfile", "DeviceStats", "DRAM",
+    "FLASH", "FileFingerprint", "HDD", "HeapFile", "IOStats", "PAGE_SIZE",
+    "PCM", "PROFILES", "PlacementPlan", "RawFile", "SlottedPage",
+    "StorageDevice", "decode_tuple", "encode_tuple", "file_size",
+]

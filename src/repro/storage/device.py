@@ -1,0 +1,183 @@
+"""Simulated storage devices with cost and energy accounting (paper Section 7,
+"Integrating new storage technologies" / "Energy Awareness").
+
+The paper's main experiments run on real disks; this repo's main benchmarks
+likewise use real files. The *device simulation* here exists for the
+Section-7 extension study: it models seek/transfer latency and energy of
+HDD, flash (SSD), PCM, and DRAM so placement strategies (where to put raw
+data, positional maps, and caches) can be compared deterministically on a
+laptop. Simulated delays are **accounted, not slept** by default, so benches
+stay fast; ``realtime=True`` opts into actual sleeping.
+
+Profiles are rough but defensible magnitudes (c. 2015 hardware):
+
+=========  ==========  ============  ================  ============
+device     seek (ms)   MB/s (read)   MB/s (write)      nJ per byte
+=========  ==========  ============  ================  ============
+hdd        8.5         150           140               ~2.0
+flash      0.08        500           250 (rand. slow)  ~0.5
+pcm        0.005       900           300               ~0.3
+dram       0.0005      10000         10000             ~0.05
+=========  ==========  ============  ================  ============
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Latency/bandwidth/energy parameters of a storage technology."""
+
+    name: str
+    seek_ms: float
+    read_mb_s: float
+    write_mb_s: float
+    energy_nj_per_byte: float
+    #: penalty multiplier for random (non-appending) writes; models the
+    #: flash erase-block effect the paper proposes to avoid by converting
+    #: random writes into sequential ones.
+    random_write_penalty: float = 1.0
+
+    def read_seconds(self, nbytes: int, seeks: int = 0) -> float:
+        return seeks * self.seek_ms / 1e3 + nbytes / (self.read_mb_s * 1e6)
+
+    def write_seconds(self, nbytes: int, seeks: int = 0, random: bool = False) -> float:
+        base = seeks * self.seek_ms / 1e3 + nbytes / (self.write_mb_s * 1e6)
+        return base * (self.random_write_penalty if random else 1.0)
+
+    def energy_joules(self, nbytes: int) -> float:
+        return nbytes * self.energy_nj_per_byte / 1e9
+
+
+HDD = DeviceProfile("hdd", seek_ms=8.5, read_mb_s=150, write_mb_s=140,
+                    energy_nj_per_byte=2.0, random_write_penalty=1.2)
+FLASH = DeviceProfile("flash", seek_ms=0.08, read_mb_s=500, write_mb_s=250,
+                      energy_nj_per_byte=0.5, random_write_penalty=8.0)
+PCM = DeviceProfile("pcm", seek_ms=0.005, read_mb_s=900, write_mb_s=300,
+                    energy_nj_per_byte=0.3, random_write_penalty=1.0)
+DRAM = DeviceProfile("dram", seek_ms=0.0005, read_mb_s=10000, write_mb_s=10000,
+                     energy_nj_per_byte=0.05, random_write_penalty=1.0)
+
+PROFILES = {p.name: p for p in (HDD, FLASH, PCM, DRAM)}
+
+
+@dataclass
+class DeviceStats:
+    """Accumulated access statistics of a simulated device."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_seeks: int = 0
+    write_seeks: int = 0
+    random_writes: int = 0
+    simulated_seconds: float = 0.0
+    energy_joules: float = 0.0
+
+    def merged(self, other: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            self.bytes_read + other.bytes_read,
+            self.bytes_written + other.bytes_written,
+            self.read_seeks + other.read_seeks,
+            self.write_seeks + other.write_seeks,
+            self.random_writes + other.random_writes,
+            self.simulated_seconds + other.simulated_seconds,
+            self.energy_joules + other.energy_joules,
+        )
+
+
+class StorageDevice:
+    """A simulated device accumulating cost/energy for reads and writes.
+
+    Used by the Section-7 placement benchmarks; the object is cheap and
+    side-effect free unless ``realtime=True`` (then it actually sleeps the
+    simulated latency, for demos).
+    """
+
+    def __init__(self, profile: DeviceProfile | str, realtime: bool = False):
+        if isinstance(profile, str):
+            try:
+                profile = PROFILES[profile]
+            except KeyError:
+                raise StorageError(
+                    f"unknown device profile {profile!r}; choose from {sorted(PROFILES)}"
+                ) from None
+        self.profile = profile
+        self.realtime = realtime
+        self.stats = DeviceStats()
+        self._last_offset = 0
+
+    def read(self, nbytes: int, offset: int | None = None) -> float:
+        """Account a read of ``nbytes`` at ``offset`` (None = sequential)."""
+        seeks = 0
+        if offset is not None and offset != self._last_offset:
+            seeks = 1
+        if offset is not None:
+            self._last_offset = offset + nbytes
+        else:
+            self._last_offset += nbytes
+        seconds = self.profile.read_seconds(nbytes, seeks)
+        self.stats.bytes_read += nbytes
+        self.stats.read_seeks += seeks
+        self.stats.simulated_seconds += seconds
+        self.stats.energy_joules += self.profile.energy_joules(nbytes)
+        if self.realtime and seconds > 0:
+            time.sleep(seconds)
+        return seconds
+
+    def write(self, nbytes: int, offset: int | None = None) -> float:
+        """Account a write; non-sequential offsets count as random writes."""
+        seeks = 0
+        random = False
+        if offset is not None and offset != self._last_offset:
+            seeks = 1
+            random = True
+        if offset is not None:
+            self._last_offset = offset + nbytes
+        else:
+            self._last_offset += nbytes
+        seconds = self.profile.write_seconds(nbytes, seeks, random=random)
+        self.stats.bytes_written += nbytes
+        self.stats.write_seeks += seeks
+        self.stats.random_writes += 1 if random else 0
+        self.stats.simulated_seconds += seconds
+        self.stats.energy_joules += self.profile.energy_joules(nbytes)
+        if self.realtime and seconds > 0:
+            time.sleep(seconds)
+        return seconds
+
+    def reset(self) -> None:
+        self.stats = DeviceStats()
+        self._last_offset = 0
+
+
+@dataclass
+class PlacementPlan:
+    """Assignment of ViDa artifact classes to devices (Section 7 study).
+
+    Artifact classes: ``raw`` (the raw files), ``posmap`` (positional
+    structures), ``cache`` (ViDa's data caches), ``temp`` (query scratch).
+    """
+
+    raw: StorageDevice
+    posmap: StorageDevice
+    cache: StorageDevice
+    temp: StorageDevice
+
+    def total_seconds(self) -> float:
+        return sum(d.stats.simulated_seconds for d in self._devices())
+
+    def total_energy(self) -> float:
+        return sum(d.stats.energy_joules for d in self._devices())
+
+    def _devices(self) -> tuple[StorageDevice, ...]:
+        # A device object may back several classes; count each once.
+        seen: list[StorageDevice] = []
+        for dev in (self.raw, self.posmap, self.cache, self.temp):
+            if all(dev is not s for s in seen):
+                seen.append(dev)
+        return tuple(seen)

@@ -1,0 +1,32 @@
+"""Baseline warehouse systems for the Figure 5 comparison: a page-based row
+store, a dictionary-encoded column store, a BSON document store, the ETL
+pipelines that feed them, and the mediator integration layer."""
+
+from .colstore import ColStore
+from .docstore import DocStore
+from .etl import (
+    ETLReport,
+    flatten_json_to_csv,
+    load_csv_to_colstore,
+    load_csv_to_rowstore,
+    load_json_to_docstore,
+)
+from .integration import IntegrationLayer, MediatedAdapter, MediationStats
+from .query import (
+    Adapter,
+    ColStoreAdapter,
+    DocStoreAdapter,
+    Filter,
+    QuerySpec,
+    RowStoreAdapter,
+    run_spec,
+)
+from .rowstore import MAX_ATTRS, RowStore
+
+__all__ = [
+    "Adapter", "ColStore", "ColStoreAdapter", "DocStore", "DocStoreAdapter",
+    "ETLReport", "Filter", "IntegrationLayer", "MAX_ATTRS", "MediatedAdapter",
+    "MediationStats", "QuerySpec", "RowStore", "RowStoreAdapter",
+    "flatten_json_to_csv", "load_csv_to_colstore", "load_csv_to_rowstore",
+    "load_json_to_docstore", "run_spec",
+]

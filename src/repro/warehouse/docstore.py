@@ -1,0 +1,138 @@
+"""Document-store baseline ("Mongo" in Figure 5; MongoDB's role).
+
+Collections of BSON-encoded documents with power-of-two record allocation —
+the two mechanisms behind the paper's observation that "the imported JSON
+data reached 12GB (twice the space of the raw JSON dataset)": BSON repeats
+every field name in every document and adds fixed-width tags/lengths, and
+Mongo's (2.x era) storage allocated each record a power-of-two slot to
+leave room for growth.
+
+Queries decode per document (find with a predicate over dotted paths),
+optionally served by a hash index on one path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import WarehouseError
+from ..formats.jsonfmt import bson, get_path
+
+
+#: on-disk record header (Mongo 2.x record: length, extent links) plus the
+#: implicit ``_id`` ObjectId element (tag + name + 12 bytes) every imported
+#: document gains; accounted in storage, not added to query-visible docs.
+RECORD_OVERHEAD_BYTES = 16 + 17
+
+
+def _pow2_slot(nbytes: int) -> int:
+    slot = 32
+    while slot < nbytes:
+        slot <<= 1
+    return slot
+
+
+@dataclass
+class Collection:
+    name: str
+    documents: list[bytes] = field(default_factory=list)
+    storage_bytes: int = 0       # allocated (power-of-two slots)
+    payload_bytes: int = 0       # actual BSON bytes
+    indexes: dict[str, dict] = field(default_factory=dict)  # path → value → [docidx]
+
+
+class DocStore:
+    """A BSON document store with per-collection hash indexes."""
+
+    def __init__(self):
+        self.collections: dict[str, Collection] = {}
+
+    def create_collection(self, name: str) -> Collection:
+        if name in self.collections:
+            raise WarehouseError(f"collection {name!r} already exists")
+        coll = Collection(name)
+        self.collections[name] = coll
+        return coll
+
+    def drop_collection(self, name: str) -> None:
+        if name not in self.collections:
+            raise WarehouseError(f"no collection {name!r}")
+        del self.collections[name]
+
+    def _coll(self, name: str) -> Collection:
+        try:
+            return self.collections[name]
+        except KeyError:
+            raise WarehouseError(
+                f"no collection {name!r}; have: {', '.join(sorted(self.collections))}"
+            ) from None
+
+    # -- loading -----------------------------------------------------------
+
+    def insert_many(self, name: str, documents: Iterable[dict]) -> int:
+        """Encode and store documents (the paper's time/space-heavy import)."""
+        coll = self._coll(name)
+        count = 0
+        for doc in documents:
+            blob = bson.encode(doc)
+            idx = len(coll.documents)
+            coll.documents.append(blob)
+            coll.payload_bytes += len(blob)
+            coll.storage_bytes += _pow2_slot(len(blob) + RECORD_OVERHEAD_BYTES)
+            for path, index in coll.indexes.items():
+                index.setdefault(get_path(doc, path), []).append(idx)
+            count += 1
+        return count
+
+    def create_index(self, name: str, path: str) -> None:
+        """Build a hash index on a dotted path (like Mongo's secondary index)."""
+        coll = self._coll(name)
+        index: dict = {}
+        for i, blob in enumerate(coll.documents):
+            doc = bson.decode(blob)
+            index.setdefault(get_path(doc, path), []).append(i)
+        coll.indexes[path] = index
+
+    # -- querying -----------------------------------------------------------
+
+    def find(
+        self,
+        name: str,
+        predicate: Callable[[dict], bool] | None = None,
+        eq: tuple[str, object] | None = None,
+    ) -> Iterator[dict]:
+        """Yield decoded documents; ``eq=(path, value)`` may use an index."""
+        coll = self._coll(name)
+        if eq is not None and eq[0] in coll.indexes:
+            for i in coll.indexes[eq[0]].get(eq[1], ()):
+                doc = bson.decode(coll.documents[i])
+                if predicate is None or predicate(doc):
+                    yield doc
+            return
+        for blob in coll.documents:
+            doc = bson.decode(blob)
+            if eq is not None and get_path(doc, eq[0]) != eq[1]:
+                continue
+            if predicate is None or predicate(doc):
+                yield doc
+
+    def iter_dicts(self, name: str, fields: Sequence[str] | None = None):
+        """Project dotted paths out of each document (decode-per-doc cost)."""
+        for doc in self.find(name):
+            if fields is None:
+                yield doc
+            else:
+                yield {f: get_path(doc, f) for f in fields}
+
+    def count(self, name: str) -> int:
+        return len(self._coll(name).documents)
+
+    def stats(self, name: str) -> dict:
+        coll = self._coll(name)
+        return {
+            "count": len(coll.documents),
+            "payload_bytes": coll.payload_bytes,
+            "storage_bytes": coll.storage_bytes,
+            "indexes": sorted(coll.indexes),
+        }

@@ -1,0 +1,93 @@
+"""The data-integration (mediator) layer over multiple systems (Figure 5's
+"Col.Store + Mongo" / "RowStore + Mongo" configurations).
+
+"When different systems are used, a data integration layer on top of the
+existing systems (the RDBMS of choice and MongoDB) is responsible for
+providing access to the data … the need for a data integration layer comes
+with a performance penalty during query processing."
+
+The penalty is modelled with real work, not sleeps: every record crossing a
+system boundary passes through a *mediation* step that (a) converts it to
+the mediator's neutral representation (fresh dict, normalised keys), and
+(b) coerces values to the global schema's types — the kind of per-tuple
+marshalling wrapper architectures (Garlic-style) actually perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .query import Adapter, QuerySpec, run_spec
+
+
+@dataclass
+class MediationStats:
+    records_converted: int = 0
+    values_coerced: int = 0
+
+
+class MediatedAdapter(Adapter):
+    """Wraps a system-specific adapter with per-record mediation."""
+
+    def __init__(self, inner: Adapter, stats: MediationStats,
+                 type_hints: dict[str, str] | None = None):
+        self.inner = inner
+        self.stats = stats
+        self.type_hints = type_hints or {}
+
+    def fetch(self, fields: Sequence[str]) -> Iterator[dict]:
+        return self._mediate(self.inner.fetch(fields))
+
+    def fetch_filtered(self, fields: Sequence[str], filters) -> Iterator[dict]:
+        # Mediators push selections down to the sources; only survivors
+        # cross the system boundary and pay conversion.
+        return self._mediate(self.inner.fetch_filtered(fields, filters))
+
+    def _mediate(self, records: Iterator[dict]) -> Iterator[dict]:
+        hints = self.type_hints
+        stats = self.stats
+        for record in records:
+            # (a) convert to the mediator's neutral record representation
+            neutral = {}
+            for key, value in record.items():
+                # (b) coerce to the global schema where a hint exists
+                hint = hints.get(key)
+                if hint is not None and value is not None:
+                    if hint == "float" and not isinstance(value, float):
+                        value = float(value)
+                        stats.values_coerced += 1
+                    elif hint == "int" and not isinstance(value, int):
+                        value = int(value)
+                        stats.values_coerced += 1
+                    elif hint == "string" and not isinstance(value, str):
+                        value = str(value)
+                        stats.values_coerced += 1
+                neutral[str(key)] = value
+            stats.records_converted += 1
+            yield neutral
+
+
+class IntegrationLayer:
+    """A mediator federating adapters that live in different systems.
+
+    ``register(source, adapter, system)`` attaches each dataset; queries via
+    :meth:`query` run the shared spec runner over *mediated* adapters, so
+    every tuple from every underlying system pays the marshalling cost.
+    """
+
+    def __init__(self):
+        self._adapters: dict[str, MediatedAdapter] = {}
+        self._systems: dict[str, str] = {}
+        self.stats = MediationStats()
+
+    def register(self, source: str, adapter: Adapter, system: str,
+                 type_hints: dict[str, str] | None = None) -> None:
+        self._adapters[source] = MediatedAdapter(adapter, self.stats, type_hints)
+        self._systems[source] = system
+
+    def systems(self) -> dict[str, str]:
+        return dict(self._systems)
+
+    def query(self, spec: QuerySpec):
+        return run_spec(spec, self._adapters)

@@ -1,0 +1,228 @@
+"""Row-store baseline ("RowStore" in Figure 5; PostgreSQL's role).
+
+A disk-based slotted-page engine: loading parses the CSV, encodes binary
+tuples, and packs them into 8 KB pages in heap files; querying iterates
+pages through a buffer pool and decodes tuples. Like PostgreSQL, the store
+enforces a **maximum attribute count per table** — the paper vertically
+partitions the 17832-attribute Genetics relation for exactly this reason —
+and the ETL layer splits wide inputs into partitions that scans re-stitch.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import WarehouseError
+from ..storage.buffer import BufferPool
+from ..storage.pages import HeapFile, decode_fields, decode_tuple, encode_tuple
+
+#: PostgreSQL's limit is 250–1600 depending on types (paper §6); we use the
+#: conservative figure so wide relations genuinely partition.
+MAX_ATTRS = 250
+
+
+@dataclass
+class TableMeta:
+    name: str
+    columns: tuple[str, ...]
+    types: tuple[str, ...]
+    heap_path: str
+    row_count: int = 0
+    #: names of the vertical partitions, in column order (empty = plain table)
+    partitions: tuple[str, ...] = ()
+
+
+class RowStore:
+    """A page-based row store with a buffer pool and vertical partitioning."""
+
+    def __init__(self, directory: str | os.PathLike, buffer_pages: int = 16384):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.tables: dict[str, TableMeta] = {}
+        self.pool = BufferPool(buffer_pages)
+        self._heaps: dict[str, HeapFile] = {}
+
+    def _heap(self, meta: TableMeta) -> HeapFile:
+        heap = self._heaps.get(meta.name)
+        if heap is None:
+            heap = HeapFile(meta.heap_path)
+            self._heaps[meta.name] = heap
+        return heap
+
+    # -- DDL -----------------------------------------------------------
+
+    def create_table(
+        self, name: str, columns: Sequence[str], types: Sequence[str]
+    ) -> TableMeta:
+        """Create a table; raises when the attribute limit is exceeded
+        (callers must vertically partition, as the paper did)."""
+        if name in self.tables:
+            raise WarehouseError(f"table {name!r} already exists")
+        if len(columns) != len(types):
+            raise WarehouseError("columns/types length mismatch")
+        if len(columns) > MAX_ATTRS:
+            raise WarehouseError(
+                f"table {name!r} has {len(columns)} attributes; the row store "
+                f"limit is {MAX_ATTRS} — vertically partition the input"
+            )
+        heap_path = os.path.join(self.directory, f"{name}.heap")
+        if os.path.exists(heap_path):
+            os.remove(heap_path)
+        meta = TableMeta(name, tuple(columns), tuple(types), heap_path)
+        self.tables[name] = meta
+        return meta
+
+    def create_partitioned(
+        self, name: str, columns: Sequence[str], types: Sequence[str],
+        key_column: str = "id",
+    ) -> TableMeta:
+        """Create a logical table as vertical partitions of ≤ MAX_ATTRS each.
+
+        Every partition carries the key column so partitions stay joinable,
+        mirroring how the paper's PostgreSQL deployment was set up.
+        """
+        if len(columns) <= MAX_ATTRS:
+            return self.create_table(name, columns, types)
+        if key_column not in columns:
+            raise WarehouseError(f"partitioning needs key column {key_column!r}")
+        key_idx = list(columns).index(key_column)
+        key_type = types[key_idx]
+        others = [(c, t) for c, t in zip(columns, types) if c != key_column]
+        per_part = MAX_ATTRS - 1
+        part_names: list[str] = []
+        for p in range(0, len(others), per_part):
+            chunk = others[p:p + per_part]
+            part_name = f"{name}__p{p // per_part}"
+            self.create_table(
+                part_name,
+                [key_column] + [c for c, _t in chunk],
+                [key_type] + [t for _c, t in chunk],
+            )
+            part_names.append(part_name)
+        meta = TableMeta(name, tuple(columns), tuple(types), heap_path="",
+                         partitions=tuple(part_names))
+        self.tables[name] = meta
+        return meta
+
+    def drop_table(self, name: str) -> None:
+        meta = self.tables.pop(name, None)
+        if meta is None:
+            raise WarehouseError(f"no table {name!r}")
+        for part in meta.partitions:
+            self.drop_table(part)
+        heap = self._heaps.pop(name, None)
+        if heap is not None:
+            heap.close()
+        if meta.heap_path and os.path.exists(meta.heap_path):
+            self.pool.invalidate(meta.heap_path)
+            os.remove(meta.heap_path)
+
+    def _meta(self, name: str) -> TableMeta:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise WarehouseError(
+                f"no table {name!r}; have: {', '.join(sorted(self.tables))}"
+            ) from None
+
+    # -- loading -----------------------------------------------------------
+
+    def insert_rows(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Bulk-insert converted rows (encode + page packing)."""
+        meta = self._meta(name)
+        if meta.partitions:
+            raise WarehouseError(
+                f"{name!r} is partitioned; insert into partitions via the ETL"
+            )
+        heap = self._heap(meta)
+        count = 0
+        types = meta.types
+        for row in rows:
+            heap.append(encode_tuple(tuple(row), types))
+            count += 1
+        heap.flush()
+        meta.row_count += count
+        return count
+
+    # -- querying -----------------------------------------------------------
+
+    def scan(self, name: str, fields: Sequence[str] | None = None) -> Iterator[tuple]:
+        """Yield tuples of ``fields`` (None = all), page by page."""
+        meta = self._meta(name)
+        if meta.partitions:
+            yield from self._scan_partitioned(meta, fields)
+            return
+        if fields is None:
+            idx = list(range(len(meta.columns)))
+        else:
+            idx = [self._col_index(meta, f) for f in fields]
+        heap = self._heap(meta)
+        types = meta.types
+        if fields is not None and len(idx) < len(types):
+            # Partial tuple deform: decode only up to the last needed column.
+            for _rid, payload in self.pool.scan(heap):
+                yield decode_fields(payload, types, idx)
+            return
+        for _rid, payload in self.pool.scan(heap):
+            values = decode_tuple(payload, types)
+            yield tuple(values[i] for i in idx)
+
+    def _col_index(self, meta: TableMeta, f: str) -> int:
+        try:
+            return meta.columns.index(f)
+        except ValueError:
+            raise WarehouseError(f"table {meta.name!r} has no column {f!r}") from None
+
+    def _scan_partitioned(self, meta: TableMeta, fields: Sequence[str] | None):
+        """Stitch vertical partitions back together for a scan.
+
+        Only partitions holding requested fields are touched; rows align by
+        load order (the ETL loads partitions from the same input pass).
+        """
+        wanted = list(fields) if fields is not None else list(meta.columns)
+        plans: list[tuple[str, list[str]]] = []
+        for part in meta.partitions:
+            pmeta = self._meta(part)
+            have = [f for f in wanted if f in pmeta.columns]
+            if have:
+                plans.append((part, have))
+        if not plans:
+            raise WarehouseError(f"none of {wanted} exist in {meta.name!r}")
+        covered: list[str] = []
+        for _p, have in plans:
+            covered.extend(have)
+        missing = [f for f in wanted if f not in covered]
+        if missing:
+            raise WarehouseError(f"table {meta.name!r} has no columns {missing}")
+        scans = [self.scan(part, have) for part, have in plans]
+        order: list[int] = []
+        flat: list[str] = []
+        for _p, have in plans:
+            flat.extend(have)
+        for f in wanted:
+            order.append(flat.index(f))
+        for parts in zip(*scans):
+            row: list = []
+            for tup in parts:
+                row.extend(tup)
+            yield tuple(row[i] for i in order)
+
+    def iter_dicts(self, name: str, fields: Sequence[str] | None = None):
+        meta = self._meta(name)
+        names = list(fields) if fields is not None else list(meta.columns)
+        for tup in self.scan(name, fields):
+            yield dict(zip(names, tup))
+
+    def row_count(self, name: str) -> int:
+        meta = self._meta(name)
+        if meta.partitions:
+            return self._meta(meta.partitions[0]).row_count
+        return meta.row_count
+
+    def storage_bytes(self, name: str) -> int:
+        meta = self._meta(name)
+        if meta.partitions:
+            return sum(self.storage_bytes(p) for p in meta.partitions)
+        return os.path.getsize(meta.heap_path) if os.path.exists(meta.heap_path) else 0

@@ -1,0 +1,23 @@
+"""Workloads: the Human Brain Project evaluation scenario (paper §6)."""
+
+from .hbp import (
+    PAPER_TABLE2,
+    HBPConfig,
+    HBPDatasets,
+    HBPQuery,
+    generate_datasets,
+    make_workload,
+)
+from .runner import (
+    BASELINES,
+    SystemTiming,
+    normalize_result,
+    run_baseline,
+    run_vida,
+)
+
+__all__ = [
+    "BASELINES", "HBPConfig", "HBPDatasets", "HBPQuery", "PAPER_TABLE2",
+    "SystemTiming", "generate_datasets", "make_workload", "normalize_result",
+    "run_baseline", "run_vida",
+]

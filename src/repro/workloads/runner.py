@@ -1,0 +1,204 @@
+"""Workload runners: drive the same HBP workload through ViDa and through
+every baseline configuration of Figure 5, timing preparation and queries.
+
+System configurations (paper §6):
+
+- ``vida``            — ViDa over the raw files (no preparation at all)
+- ``colstore``        — single warehouse, column store; JSON flattened first
+- ``rowstore``        — single warehouse, row store; JSON flattened first
+- ``colstore+mongo``  — column store + document store under the mediator
+- ``rowstore+mongo``  — row store + document store under the mediator
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..core.session import ViDa
+from ..warehouse import (
+    ColStore,
+    ColStoreAdapter,
+    DocStore,
+    DocStoreAdapter,
+    IntegrationLayer,
+    RowStore,
+    RowStoreAdapter,
+    flatten_json_to_csv,
+    load_csv_to_colstore,
+    load_csv_to_rowstore,
+    load_json_to_docstore,
+    run_spec,
+)
+from .hbp import HBPDatasets, HBPQuery
+
+BASELINES = ("colstore", "rowstore", "colstore+mongo", "rowstore+mongo")
+
+
+@dataclass
+class SystemTiming:
+    """Figure 5 bar components for one system."""
+
+    system: str
+    flatten_s: float = 0.0
+    load_dbms_s: float = 0.0
+    load_mongo_s: float = 0.0
+    query_s: float = 0.0
+    per_query_s: list[float] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def prep_s(self) -> float:
+        return self.flatten_s + self.load_dbms_s + self.load_mongo_s
+
+    @property
+    def total_s(self) -> float:
+        return self.prep_s + self.query_s
+
+
+def run_vida(datasets: HBPDatasets, queries: list[HBPQuery],
+             engine: str = "jit", session: ViDa | None = None
+             ) -> tuple[SystemTiming, ViDa, list]:
+    """Run the workload on ViDa over the raw files; returns timing + session
+    (for cache statistics) + per-query results."""
+    timing = SystemTiming("vida")
+    db = session or ViDa()
+    t0 = time.perf_counter()
+    db.register_csv("Patients", datasets.patients_csv)
+    db.register_csv("Genetics", datasets.genetics_csv)
+    db.register_json("BrainRegions", datasets.brain_json)
+    register_s = time.perf_counter() - t0
+    timing.extra["register_s"] = register_s
+
+    results = []
+    t_workload = time.perf_counter()
+    for q in queries:
+        t0 = time.perf_counter()
+        result = db.query(q.comprehension, engine=engine)
+        timing.per_query_s.append(time.perf_counter() - t0)
+        results.append(result.value)
+    timing.query_s = (time.perf_counter() - t_workload) + register_s
+    timing.extra["cache_hit_ratio"] = db.cache_hit_ratio()
+    timing.extra["cache_served"] = sum(1 for s in db.query_log if s.cache_only)
+    timing.extra["raw_bytes"] = sum(s.raw_bytes for s in db.query_log)
+    return timing, db, results
+
+
+def _prepare_single_warehouse(kind: str, datasets: HBPDatasets, workdir: str):
+    """Flatten JSON + load everything into one RDBMS; returns adapters."""
+    timing = SystemTiming(kind)
+    flat_csv = os.path.join(workdir, f"brain_flat_{kind}.csv")
+    report = flatten_json_to_csv(datasets.brain_json, flat_csv)
+    timing.flatten_s = report.seconds
+
+    if kind == "colstore":
+        store: ColStore | RowStore = ColStore()
+        loader = load_csv_to_colstore
+        adapter_cls = ColStoreAdapter
+    else:
+        store = RowStore(os.path.join(workdir, f"{kind}_heaps"))
+        loader = load_csv_to_rowstore
+        adapter_cls = RowStoreAdapter
+
+    t_load = 0.0
+    for table, path in (("Patients", datasets.patients_csv),
+                        ("Genetics", datasets.genetics_csv),
+                        ("BrainRegions", flat_csv)):
+        rep = loader(store, table, path)
+        t_load += rep.seconds
+    timing.load_dbms_s = t_load
+
+    adapters = {name: adapter_cls(store, name)
+                for name in ("Patients", "Genetics", "BrainRegions")}
+    timing.extra["storage_bytes"] = sum(
+        store.storage_bytes(t) for t in ("Patients", "Genetics", "BrainRegions")
+    )
+    return timing, adapters, store
+
+
+def _prepare_federated(kind: str, datasets: HBPDatasets, workdir: str):
+    """RDBMS for the CSVs + document store for the JSON, under the mediator."""
+    timing = SystemTiming(kind)
+    if kind.startswith("colstore"):
+        store: ColStore | RowStore = ColStore()
+        loader = load_csv_to_colstore
+        adapter_cls = ColStoreAdapter
+    else:
+        store = RowStore(os.path.join(workdir, f"{kind}_heaps"))
+        loader = load_csv_to_rowstore
+        adapter_cls = RowStoreAdapter
+
+    t_load = 0.0
+    for table, path in (("Patients", datasets.patients_csv),
+                        ("Genetics", datasets.genetics_csv)):
+        rep = loader(store, table, path)
+        t_load += rep.seconds
+    timing.load_dbms_s = t_load
+
+    docs = DocStore()
+    rep = load_json_to_docstore(docs, "BrainRegions", datasets.brain_json)
+    timing.load_mongo_s = rep.seconds
+    timing.extra["mongo_storage_bytes"] = docs.stats("BrainRegions")["storage_bytes"]
+    timing.extra["raw_json_bytes"] = os.path.getsize(datasets.brain_json)
+
+    mediator = IntegrationLayer()
+    mediator.register("Patients", adapter_cls(store, "Patients"), kind.split("+")[0])
+    mediator.register("Genetics", adapter_cls(store, "Genetics"), kind.split("+")[0])
+    mediator.register("BrainRegions", DocStoreAdapter(docs, "BrainRegions"), "mongo")
+    return timing, mediator, (store, docs)
+
+
+def run_baseline(kind: str, datasets: HBPDatasets, queries: list[HBPQuery],
+                 workdir: str) -> tuple[SystemTiming, list]:
+    """Prepare one baseline configuration and run the workload through it."""
+    if kind not in BASELINES:
+        raise ValueError(f"unknown baseline {kind!r}; choose from {BASELINES}")
+    os.makedirs(workdir, exist_ok=True)
+    if kind in ("colstore", "rowstore"):
+        timing, adapters, _store = _prepare_single_warehouse(kind, datasets, workdir)
+
+        def run_one(spec):
+            return run_spec(spec, adapters)
+    else:
+        timing, mediator, _stores = _prepare_federated(kind, datasets, workdir)
+
+        def run_one(spec):
+            return mediator.query(spec)
+
+    results = []
+    t_workload = time.perf_counter()
+    for q in queries:
+        t0 = time.perf_counter()
+        results.append(run_one(q.spec))
+        timing.per_query_s.append(time.perf_counter() - t0)
+    timing.query_s = time.perf_counter() - t_workload
+    return timing, results
+
+
+def normalize_result(value) -> object:
+    """Canonical form for cross-system result comparison.
+
+    Collections become sorted tuples of sorted items; scalars/aggregate
+    dicts collapse to their value (floats rounded to tolerate accumulation
+    order differences).
+    """
+    def canon(v):
+        if isinstance(v, float):
+            return round(v, 6)
+        return v
+
+    if isinstance(value, list):
+        rows = []
+        for row in value:
+            if isinstance(row, dict):
+                rows.append(tuple(sorted((k, canon(v)) for k, v in row.items())))
+            else:
+                rows.append((canon(row),))
+        return tuple(sorted(rows, key=repr))
+    if isinstance(value, dict):
+        # aggregate result dicts: single value
+        if len(value) == 1:
+            return canon(next(iter(value.values())))
+        return tuple(sorted((k, canon(v)) for k, v in value.items()))
+    return canon(value)

@@ -1,0 +1,112 @@
+"""Calculus corner cases end-to-end through both executors."""
+
+import pytest
+
+from repro import ViDa
+
+
+@pytest.fixture()
+def xdb():
+    db = ViDa()
+    db.register_memory("Nums", [{"v": i, "s": f"w{i}"} for i in range(10)])
+    db.register_memory("Mat", [{"row": [1, 2, 3]}, {"row": [4, 5, 6]}])
+    db.register_memory("Mixed", [
+        {"v": 1, "tag": "apple"}, {"v": None, "tag": "banana"},
+        {"v": 3, "tag": None},
+    ])
+    return db
+
+
+def both(db, q):
+    jit = db.query(q).value
+    static = db.query(q, engine="static").value
+    if isinstance(jit, list):
+        assert sorted(map(repr, jit)) == sorted(map(repr, static))
+    else:
+        assert jit == static
+    return jit
+
+
+def test_expression_generator_over_literal(xdb):
+    assert both(xdb, "for { x <- [1, 2, 3], x > 1 } yield sum x") == 5
+
+
+def test_bind_in_qualifiers(xdb):
+    out = both(xdb, "for { n <- Nums, d := n.v * 2, d > 10 } yield bag d")
+    assert sorted(out) == [12, 14, 16, 18]
+
+
+def test_if_then_else_in_head(xdb):
+    out = both(xdb, 'for { n <- Nums } yield sum (if n.v > 4 then 1 else 0)')
+    assert out == 5
+
+
+def test_index_expression(xdb):
+    out = both(xdb, "for { m <- Mat } yield sum m.row[1]")
+    assert out == 7
+
+
+def test_string_functions(xdb):
+    out = both(xdb, 'for { n <- Nums, endswith(n.s, "3") } yield bag upper(n.s)')
+    assert out == ["W3"]
+
+
+def test_in_operator_with_list(xdb):
+    assert both(xdb, "for { n <- Nums, n.v in [2, 4, 6] } yield count 1") == 3
+
+
+def test_nulls_in_aggregates(xdb):
+    # sum/avg/max skip nulls; count counts rows
+    assert both(xdb, "for { m <- Mixed } yield sum m.v") == 4
+    assert both(xdb, "for { m <- Mixed } yield avg m.v") == 2.0
+    assert both(xdb, "for { m <- Mixed } yield count 1") == 3
+
+
+def test_null_comparisons_are_false(xdb):
+    assert both(xdb, "for { m <- Mixed, m.v > 0 } yield count 1") == 2
+    assert both(xdb, "for { m <- Mixed, m.v < 100 } yield count 1") == 2
+
+
+def test_like_with_null(xdb):
+    assert both(xdb, 'for { m <- Mixed, m.tag like "%an%" } yield count 1') == 1
+
+
+def test_exists_quantifier_via_any(xdb):
+    assert both(xdb, "for { n <- Nums } yield any (n.v = 7)") is True
+    assert both(xdb, "for { n <- Nums } yield all (n.v < 100)") is True
+    assert both(xdb, "for { n <- Nums } yield all (n.v < 5)") is False
+
+
+def test_arithmetic_precedence_end_to_end(xdb):
+    assert both(xdb, "for { n <- Nums, n.v = 2 } yield sum (n.v + 3 * n.v)") == 8
+
+
+def test_prod_monoid(xdb):
+    assert both(xdb, "for { n <- Nums, n.v >= 1, n.v <= 4 } yield prod n.v") == 24
+
+
+def test_median_even_count(xdb):
+    assert both(xdb, "for { n <- Nums, n.v < 4 } yield median n.v") == 1.5
+
+
+def test_record_with_nested_list_head(xdb):
+    out = both(xdb, "for { n <- Nums, n.v < 2 } yield bag "
+                    "(v := n.v, pair := [n.v, n.v + 1])")
+    assert {"v": 0, "pair": [0, 1]} in out
+
+
+def test_empty_result_aggregates(xdb):
+    assert both(xdb, "for { n <- Nums, n.v > 99 } yield sum n.v") == 0
+    assert both(xdb, "for { n <- Nums, n.v > 99 } yield max n.v") is None
+    assert both(xdb, "for { n <- Nums, n.v > 99 } yield avg n.v") is None
+    assert both(xdb, "for { n <- Nums, n.v > 99 } yield bag n.v") == []
+
+
+def test_constant_only_query(xdb):
+    assert both(xdb, "for { } yield sum 41") == 41
+    assert both(xdb, "for { false } yield count 1") == 0
+
+
+def test_cross_product_no_join_key(xdb):
+    out = both(xdb, "for { a <- Nums, b <- Mat, a.v = 0 } yield count 1")
+    assert out == 2

@@ -1,0 +1,77 @@
+"""Session queries across the non-CSV/JSON formats (arrays, workbooks) and
+output virtualization details."""
+
+import pytest
+
+from repro import ViDa
+
+
+@pytest.fixture()
+def multi_db(array_file, xls_file, patients_csv):
+    db = ViDa()
+    db.register_array("Grid", array_file, ["i", "j"])
+    db.register_xls("Trades", xls_file, "trades")
+    db.register_xls("Risk", xls_file, "risk")
+    db.register_csv("Patients", patients_csv)
+    return db
+
+
+def test_array_scan_aggregate(multi_db):
+    # grid values: elevation = i + j over 4x5
+    r = multi_db.query("for { c <- Grid } yield sum c.elevation")
+    expected = sum(float(i + j) for i in range(4) for j in range(5))
+    assert r.value == pytest.approx(expected)
+
+
+def test_array_dimension_filter(multi_db):
+    r = multi_db.query("for { c <- Grid, c.i = 2 } yield bag (j := c.j, e := c.elevation)")
+    assert [row["e"] for row in sorted(r.value, key=lambda x: x["j"])] == \
+        [2.0, 3.0, 4.0, 5.0, 6.0]
+
+
+def test_array_whole_binding(multi_db):
+    r = multi_db.query("for { c <- Grid, c.i = 0, c.j = 0 } yield bag c")
+    assert r.value == [{"i": 0, "j": 0, "elevation": 0.0, "temperature": 0.0}]
+
+
+def test_xls_two_sheets_join(multi_db):
+    r = multi_db.query(
+        "for { t <- Trades, v <- Risk, t.id = v.id } "
+        "yield bag (id := t.id, amount := t.amount, var := v.var)"
+    )
+    assert len(r.value) == 5
+    assert all(row["var"] == pytest.approx(row["id"] * 0.1) for row in r.value)
+
+
+def test_xls_filter(multi_db):
+    r = multi_db.query('for { t <- Trades, t.desk = "fx" } yield count 1')
+    assert r.value == 5
+
+
+def test_array_engines_agree(multi_db):
+    q = "for { c <- Grid, c.elevation > 3.0 } yield avg c.temperature"
+    assert multi_db.query(q).value == pytest.approx(
+        multi_db.query(q, engine="static").value
+    )
+
+
+def test_cross_format_join_array_csv(multi_db):
+    q = ("for { p <- Patients, c <- Grid, p.id = c.i, c.j = 1 } "
+         "yield bag (id := p.id, e := c.elevation)")
+    r = multi_db.query(q)
+    assert sorted(row["id"] for row in r.value) == [0, 1, 2, 3]
+
+
+def test_array_caching(multi_db):
+    q = "for { c <- Grid } yield max c.temperature"
+    first = multi_db.query(q)
+    assert not first.stats.cache_only
+    second = multi_db.query(q)
+    assert second.stats.cache_only
+    assert second.value == first.value
+
+
+def test_topk_and_orderby_monoids_in_session(multi_db):
+    top = multi_db.query("for { t <- Trades } yield topk(2) t.amount")
+    assert top.value == sorted(top.value, reverse=True)
+    assert len(top.value) == 2

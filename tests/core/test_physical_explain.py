@@ -1,0 +1,54 @@
+"""Physical-plan rendering and plan-utility tests."""
+
+from repro.core.physical import (
+    PhysExprScan,
+    PhysFilter,
+    PhysHashJoin,
+    PhysNLJoin,
+    PhysReduce,
+    PhysScan,
+    PhysUnnest,
+    explain_physical,
+    plan_scans,
+)
+from repro.mcc import ast as A
+from repro.mcc.monoids import get_monoid
+
+
+def sample_plan():
+    left = PhysScan(source="S", var="s", format="csv", fields=("id", "v"),
+                    access="cold", populate=("id", "v"),
+                    pred=A.BinOp(">", A.Proj(A.Var("s"), "v"), A.Const(1)))
+    right = PhysScan(source="T", var="t", format="json",
+                     fields=("id",), access="warm", bind_whole=True)
+    join = PhysHashJoin(
+        build=left, probe=right,
+        build_keys=(A.Proj(A.Var("s"), "id"),),
+        probe_keys=(A.Proj(A.Var("t"), "id"),),
+        residual=A.Const(True),
+    )
+    unnest = PhysUnnest(join, A.Proj(A.Var("t"), "items"), "i")
+    filt = PhysFilter(unnest, A.BinOp("=", A.Proj(A.Var("i"), "k"), A.Const(2)))
+    nl = PhysNLJoin(outer=filt, inner=PhysExprScan(A.ListLit((A.Const(1),)), "e"),
+                    pred=None)
+    return PhysReduce(nl, get_monoid("bag"), A.Var("i"))
+
+
+def test_explain_physical_mentions_everything():
+    text = explain_physical(sample_plan())
+    for fragment in (
+        "Reduce[bag i]", "NLJoin", "Filter[i.k = 2]", "Unnest[t.items as i",
+        "HashJoin[s.id=t.id]", "access=cold", "populate=[id, v]->columns",
+        "access=warm", "whole", "ExprScan",
+    ):
+        assert fragment in text, fragment
+
+
+def test_plan_scans_collects_in_preorder():
+    scans = plan_scans(sample_plan())
+    assert [s.source for s in scans] == ["S", "T"]
+
+
+def test_bound_vars_through_plan():
+    plan = sample_plan()
+    assert set(plan.child.bound_vars()) == {"s", "t", "i", "e"}

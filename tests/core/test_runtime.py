@@ -1,0 +1,114 @@
+"""QueryRuntime unit tests."""
+
+import pytest
+
+from repro.caching import DataCache
+from repro.core.catalog import Catalog
+from repro.core.executor.runtime import QueryRuntime
+from repro.errors import ExecutionError
+
+
+@pytest.fixture()
+def catalog(patients_csv, brain_json, array_file, xls_file):
+    cat = Catalog()
+    cat.register_csv("Patients", patients_csv)
+    cat.register_json("Brain", brain_json)
+    cat.register_array("Grid", array_file, ["i", "j"])
+    cat.register_xls("Book", xls_file, "trades")
+    return cat
+
+
+def make_rt(catalog, cache=None):
+    return QueryRuntime(catalog, cache or DataCache())
+
+
+def test_csv_lines_cold_builds_posmap_and_stats(catalog):
+    rt = make_rt(catalog)
+    lines = list(rt.csv_lines_cold("Patients", (0,)))
+    assert len(lines) == 60
+    assert rt.stats.raw_rows == 60
+    assert "Patients" in rt.stats.raw_sources
+    assert catalog.get("Patients").plugin.posmap.complete
+    assert not rt.stats.cache_only
+
+
+def test_csv_row_dict_conversion(catalog):
+    rt = make_rt(catalog)
+    row = rt.csv_row_dict("Patients", ["3", "43", "f", "geneva", ""])
+    assert row == {"id": 3, "age": 43, "gender": "f", "city": "geneva",
+                   "protein": None}
+
+
+def test_cache_data_errors_without_entry(catalog):
+    rt = make_rt(catalog)
+    with pytest.raises(ExecutionError):
+        rt.cache_data("Patients", ("age",), whole=False)
+
+
+def test_admit_then_serve_columns(catalog):
+    cache = DataCache()
+    rt = make_rt(catalog, cache)
+    rt.admit_columns("Patients", ("age", "id"),
+                     ([30, 40], [1, 2]))
+    cols, layout = rt.cache_data("Patients", ("id",), whole=False)
+    assert layout == "columns"
+    assert cols == [[1, 2]]
+    assert rt.stats.cache_rows == 2
+
+
+def test_admit_elements_objects(catalog):
+    cache = DataCache()
+    rt = make_rt(catalog, cache)
+    rt.admit_elements("Brain", "objects", [{"id": 1}, {"id": 2}])
+    data, layout = rt.cache_data("Brain", (), whole=True)
+    assert layout == "objects"
+    assert [d["id"] for d in data] == [1, 2]
+
+
+def test_iter_source_shapes(catalog):
+    rt = make_rt(catalog)
+    patient = next(iter(rt.iter_source("Patients")))
+    assert set(patient) == {"id", "age", "gender", "city", "protein"}
+    brain = next(iter(rt.iter_source("Brain")))
+    assert "regions" in brain
+    cell = next(iter(rt.iter_source("Grid")))
+    assert set(cell) == {"i", "j", "elevation", "temperature"}
+    trade = next(iter(rt.iter_source("Book")))
+    assert set(trade) == {"id", "amount", "desk"}
+
+
+def test_memory_source_not_memory_error(catalog):
+    rt = make_rt(catalog)
+    with pytest.raises(ExecutionError):
+        rt.memory("Patients")
+
+
+def test_clean_row_without_policy(catalog):
+    rt = make_rt(catalog)
+    with pytest.raises(ExecutionError):
+        rt.clean_row("Patients", 0, ["x"], (0,))
+    assert not rt.has_cleaning("Patients")
+    assert not rt.cleaning_validates("Patients")
+
+
+def test_monoid_lookup(catalog):
+    rt = make_rt(catalog)
+    assert rt.monoid("sum").fold([1, 2]) == 3
+    assert rt.monoid("topk", (2,)).fold([3, 1, 5]) == [5, 3]
+
+
+def test_json_spans_and_assemble(catalog):
+    rt = make_rt(catalog)
+    spans = list(rt.json_spans("Brain"))
+    assert len(spans) == 60
+    objs = rt.json_assemble("Brain", spans[:3])
+    assert [o["id"] for o in objs] == [0, 1, 2]
+
+
+def test_device_routing(catalog):
+    from repro.storage import StorageDevice
+
+    dev = StorageDevice("hdd")
+    rt = QueryRuntime(catalog, DataCache(), devices={"*": dev})
+    list(rt.csv_lines_cold("Patients", ()))
+    assert dev.stats.bytes_read > 0

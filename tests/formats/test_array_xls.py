@@ -1,0 +1,124 @@
+"""Binary array (VARR) and workbook (VXLS) format tests."""
+
+import pytest
+
+from repro.errors import DataFormatError
+from repro.formats.arrayfmt import ArraySource, read_header, write_array
+from repro.formats.xlsfmt import XLSSource, write_workbook
+
+
+@pytest.fixture()
+def grid(tmp_path):
+    path = tmp_path / "g.varr"
+    values = [(float(i * 10 + j), i + j) for i in range(3) for j in range(4)]
+    write_array(path, (3, 4), [("elev", "float"), ("temp", "int")], values)
+    return str(path)
+
+
+def test_header_roundtrip(grid):
+    header = read_header(grid)
+    assert header.dims == (3, 4)
+    assert header.fields == (("elev", "float"), ("temp", "int"))
+    assert header.element_count == 12
+
+
+def test_element_access(grid):
+    arr = ArraySource(grid, ["i", "j"])
+    assert arr.read_element((1, 2)) == (12.0, 3)
+    assert arr.read_element((0, 0)) == (0.0, 0)
+
+
+def test_bounds_check(grid):
+    arr = ArraySource(grid)
+    with pytest.raises(DataFormatError):
+        arr.read_element((3, 0))
+    with pytest.raises(DataFormatError):
+        arr.read_element((0,))
+
+
+def test_row_column_chunk_units(grid):
+    arr = ArraySource(grid)
+    row = arr.read_row(2)
+    assert [v[0] for v in row] == [20.0, 21.0, 22.0, 23.0]
+    col = arr.read_column(1)
+    assert [v[0] for v in col] == [1.0, 11.0, 21.0]
+    chunk = arr.read_chunk(1, 1, 2, 2)
+    assert chunk[0][0] == (11.0, 2)
+    assert chunk[1][1] == (22.0, 4)
+
+
+def test_chunk_bounds(grid):
+    arr = ArraySource(grid)
+    with pytest.raises(DataFormatError):
+        arr.read_chunk(2, 3, 2, 2)
+
+
+def test_full_scan_row_major(grid):
+    arr = ArraySource(grid, ["i", "j"])
+    rows = list(arr.scan())
+    assert rows[0] == (0, 0, 0.0, 0)
+    assert rows[5] == (1, 1, 11.0, 2)
+    assert len(rows) == 12
+
+
+def test_schema(grid):
+    arr = ArraySource(grid, ["i", "j"])
+    schema = arr.schema()
+    assert schema.rank == 2
+    elem = arr.element_type()
+    assert elem.field_names() == ("i", "j", "elev", "temp")
+
+
+def test_write_validates_element_count(tmp_path):
+    with pytest.raises(DataFormatError):
+        write_array(tmp_path / "bad.varr", (2, 2),
+                    [("v", "float")], [(1.0,)] * 3)
+
+
+def test_write_validates_types(tmp_path):
+    with pytest.raises(DataFormatError):
+        write_array(tmp_path / "bad.varr", (1,), [("v", "complex")], [(1,)])
+
+
+def test_bad_magic(tmp_path):
+    path = tmp_path / "junk.varr"
+    path.write_bytes(b"NOPE" + b"\x00" * 64)
+    with pytest.raises(DataFormatError):
+        read_header(path)
+
+
+# -- VXLS -----------------------------------------------------------
+
+
+def test_workbook_roundtrip(tmp_path):
+    path = tmp_path / "b.vxls"
+    write_workbook(path, [
+        ("s1", ["a", "b"], [(1, "x"), (None, "y"), (3, None)]),
+        ("s2", ["v"], [(1.5,), (2.5,)]),
+    ])
+    wb = XLSSource(path)
+    assert wb.sheet_names() == ["s1", "s2"]
+    assert list(wb.scan("s1")) == [(1, "x"), (None, "y"), (3, None)]
+    assert list(wb.scan("s2")) == [(1.5,), (2.5,)]
+
+
+def test_workbook_projection(tmp_path):
+    path = tmp_path / "b.vxls"
+    write_workbook(path, [("s", ["a", "b", "c"], [(1, 2, 3), (4, 5, 6)])])
+    wb = XLSSource(path)
+    assert list(wb.scan("s", ["c", "a"])) == [(3, 1), (6, 4)]
+
+
+def test_workbook_unknown_sheet_and_column(tmp_path):
+    path = tmp_path / "b.vxls"
+    write_workbook(path, [("s", ["a"], [(1,)])])
+    wb = XLSSource(path)
+    with pytest.raises(DataFormatError):
+        list(wb.scan("nope"))
+    with pytest.raises(DataFormatError):
+        list(wb.scan("s", ["zz"]))
+
+
+def test_workbook_row_width_validation(tmp_path):
+    with pytest.raises(DataFormatError):
+        write_workbook(tmp_path / "b.vxls", [("s", ["a", "b"], [(1,)])])

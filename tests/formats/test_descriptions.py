@@ -1,0 +1,116 @@
+"""Source-description grammar + schema-learning tests."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.formats import (
+    describe_type,
+    detect_format,
+    learn_description,
+    parse_description,
+    sniff_delimiter,
+    write_array,
+    write_csv,
+    write_workbook,
+)
+from repro.formats.descriptions import SourceDescription
+from repro.mcc import types as T
+
+
+def test_paper_example_array_description():
+    t = parse_description("""
+        Array(Dim(i, int), Dim(j, int), Att(val))
+        val = Record(Att(elevation, float), Att(temperature, float))
+    """)
+    assert isinstance(t, T.ArrayType)
+    assert t.rank == 2
+    assert t.elem.field_type("elevation") == T.FLOAT
+
+
+def test_record_description():
+    t = parse_description("Record(Att(id, int), Att(name, string))")
+    assert t == T.RecordType.of({"id": T.INT, "name": T.STRING})
+
+
+def test_collection_descriptions():
+    assert parse_description("Bag(Record(Att(a, int)))").kind == "bag"
+    assert parse_description("Set(int)").elem == T.INT
+    assert parse_description("List(float)").kind == "list"
+
+
+def test_untyped_att_resolves_to_any():
+    t = parse_description("Record(Att(payload))")
+    assert t.field_type("payload") == T.ANY
+
+
+def test_bad_syntax():
+    with pytest.raises(ParseError):
+        parse_description("Record(Whatever(a))")
+    with pytest.raises(ParseError):
+        parse_description("Array(Att(val, int))")  # missing Dim
+    with pytest.raises(ParseError):
+        parse_description("")
+
+
+def test_describe_type_roundtrip():
+    for text in (
+        "Record(Att(id, int), Att(name, string))",
+        "Bag(Record(Att(a, float)))",
+        "Array(Dim(i, int), Att(val, float))",
+    ):
+        t = parse_description(text)
+        assert parse_description(describe_type(t)) == t
+
+
+def test_source_description_validation():
+    with pytest.raises(ParseError):
+        SourceDescription("x", "csv", T.bag_of(T.ANY), unit="blob")
+    with pytest.raises(ParseError):
+        SourceDescription("x", "csv", T.bag_of(T.ANY),
+                          access_paths=("teleport",))
+
+
+def test_element_type_of_array_description():
+    desc = SourceDescription(
+        "grid", "array",
+        T.ArrayType((T.Dim("i"),), T.RecordType.of({"v": T.FLOAT})),
+        unit="element",
+    )
+    elem = desc.element_type
+    assert elem.field_names() == ("i", "v")
+
+
+# -- format detection / learning ---------------------------------------------
+
+
+def test_detect_and_learn_all_formats(tmp_path):
+    csv_p = tmp_path / "a.csv"
+    write_csv(csv_p, ["x", "y"], [(1, 2.5), (2, 3.5)])
+    json_p = tmp_path / "b.json"
+    json_p.write_text("\n".join(json.dumps({"k": i}) for i in range(3)))
+    arr_p = tmp_path / "c.varr"
+    write_array(arr_p, (2,), [("v", "int")], [(1,), (2,)])
+    xls_p = tmp_path / "d.vxls"
+    write_workbook(xls_p, [("s", ["a"], [(1,)])])
+
+    assert detect_format(csv_p) == "csv"
+    assert detect_format(json_p) == "json"
+    assert detect_format(arr_p) == "array"
+    assert detect_format(xls_p) == "xls"
+
+    desc = learn_description(csv_p)
+    assert desc.format == "csv" and desc.schema.elem.field_type("x") == T.INT
+    assert learn_description(json_p).format == "json"
+    assert learn_description(arr_p).schema.rank == 1
+    assert learn_description(xls_p).options["sheet"] == "s"
+
+
+def test_sniff_delimiter(tmp_path):
+    p = tmp_path / "t.psv"
+    p.write_text("a|b|c\n1|2|3\n4|5|6\n")
+    assert sniff_delimiter(p) == "|"
+    p2 = tmp_path / "t.tsv"
+    p2.write_text("a\tb\n1\t2\n")
+    assert sniff_delimiter(p2) == "\t"

@@ -1,0 +1,48 @@
+"""Schema-learning edge cases."""
+
+import pytest
+
+from repro.errors import DataFormatError
+from repro.formats import detect_format, learn_description, sniff_delimiter
+
+
+def test_empty_file_rejected(tmp_path):
+    p = tmp_path / "empty.csv"
+    p.write_text("")
+    with pytest.raises(DataFormatError):
+        detect_format(p)
+
+
+def test_headerless_numbers_detected_as_csv(tmp_path):
+    p = tmp_path / "n.txt"
+    p.write_text("1,2,3\n4,5,6\n")
+    assert detect_format(p) == "csv"
+
+
+def test_json_with_leading_whitespace(tmp_path):
+    p = tmp_path / "w.json"
+    p.write_text('   \n\t{"a": 1}')
+    assert detect_format(p) == "json"
+
+
+def test_sniffer_prefers_consistent_delimiter(tmp_path):
+    # commas appear but inconsistently; semicolons are the real delimiter
+    p = tmp_path / "mixed.csv"
+    p.write_text("a;b;c,d\n1;2;3\n4;5;6,7\n")
+    assert sniff_delimiter(p) == ";"
+
+
+def test_sniffer_no_content(tmp_path):
+    p = tmp_path / "blank.csv"
+    p.write_text("\n\n")
+    with pytest.raises(DataFormatError):
+        sniff_delimiter(p)
+
+
+def test_learned_description_name_defaults_to_stem(tmp_path):
+    p = tmp_path / "mydata.csv"
+    p.write_text("a,b\n1,2\n")
+    desc = learn_description(p)
+    assert desc.name == "mydata"
+    named = learn_description(p, "Custom")
+    assert named.name == "Custom"

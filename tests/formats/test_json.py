@@ -1,0 +1,169 @@
+"""JSON plugin, semi-index, and BSON-lite codec tests."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataFormatError
+from repro.formats.jsonfmt import (
+    JSONSemiIndex,
+    JSONSource,
+    bson,
+    get_path,
+)
+
+
+@pytest.fixture()
+def ndjson_file(tmp_path):
+    path = tmp_path / "objs.json"
+    with open(path, "w") as fh:
+        for i in range(10):
+            fh.write(json.dumps(
+                {"id": i, "info": {"vol": i * 1.5, "tag": f"t{i}"},
+                 "items": [{"v": j} for j in range(i % 3)]}
+            ) + "\n")
+    return str(path)
+
+
+@pytest.fixture()
+def array_json_file(tmp_path):
+    path = tmp_path / "arr.json"
+    objs = [{"id": i, "x": "a{b}c" if i == 1 else "plain"} for i in range(5)]
+    path.write_text(json.dumps(objs))
+    return str(path)
+
+
+def test_semi_index_counts_ndjson(ndjson_file):
+    src = JSONSource(ndjson_file)
+    assert src.object_count() == 10
+
+
+def test_semi_index_counts_top_level_array(array_json_file):
+    src = JSONSource(array_json_file)
+    assert src.object_count() == 5
+
+
+def test_semi_index_ignores_braces_in_strings(array_json_file):
+    src = JSONSource(array_json_file)
+    objs = list(src.scan_objects())
+    assert objs[1]["x"] == "a{b}c"
+
+
+def test_semi_index_spans_are_parseable(ndjson_file):
+    src = JSONSource(ndjson_file)
+    raw = open(ndjson_file, "rb").read()
+    for span in src.scan_positions():
+        obj = json.loads(raw[span.start:span.end])
+        assert "id" in obj
+
+
+def test_load_object_positional(ndjson_file):
+    src = JSONSource(ndjson_file)
+    assert src.load_object(7)["id"] == 7
+
+
+def test_scan_paths(ndjson_file):
+    src = JSONSource(ndjson_file)
+    rows = list(src.scan_paths(["id", "info.vol", "missing.path"]))
+    assert rows[2] == (2, 3.0, None)
+
+
+def test_assemble_survivors_only(ndjson_file):
+    src = JSONSource(ndjson_file)
+    spans = [s for i, s in enumerate(src.scan_positions()) if i % 2 == 0]
+    objs = src.assemble(spans)
+    assert [o["id"] for o in objs] == [0, 2, 4, 6, 8]
+
+
+def test_schema_samples_prefix_only(ndjson_file):
+    src = JSONSource(ndjson_file)
+    schema = src.schema()
+    assert schema.elem.field_type("id") is not None
+    # schema inference must not have built the (full-pass) semi-index
+    assert not src.has_semi_index()
+
+
+def test_invalidate_auxiliary(ndjson_file):
+    src = JSONSource(ndjson_file)
+    src.object_count()
+    assert src.has_semi_index()
+    src.invalidate_auxiliary()
+    assert not src.has_semi_index()
+
+
+def test_truncated_json_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"a": 1')
+    with pytest.raises(DataFormatError):
+        JSONSemiIndex.build_from_file(str(path))
+
+
+def test_unbalanced_brace_rejected():
+    with pytest.raises(DataFormatError):
+        JSONSemiIndex.build(b'}{')
+
+
+def test_get_path():
+    obj = {"a": {"b": [10, {"c": 3}]}}
+    assert get_path(obj, "a.b.0") == 10
+    assert get_path(obj, "a.b.1.c") == 3
+    assert get_path(obj, "a.x") is None
+    assert get_path(obj, "a.b.9") is None
+
+
+def test_build_chunked_equals_in_memory(ndjson_file):
+    data = open(ndjson_file, "rb").read()
+    in_memory = JSONSemiIndex.build(data)
+    chunked = JSONSemiIndex.build_from_file(ndjson_file, chunk_size=17)
+    assert [(s.start, s.end) for s in in_memory] == \
+           [(s.start, s.end) for s in chunked]
+
+
+# -- BSON-lite -----------------------------------------------------------
+
+_json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8).filter(
+            lambda s: "\x00" not in s), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(st.dictionaries(
+    st.text(min_size=1, max_size=8).filter(lambda s: "\x00" not in s),
+    _json_values, max_size=5,
+))
+@settings(max_examples=80, deadline=None)
+def test_bson_roundtrip(doc):
+    assert bson.decode(bson.encode(doc)) == doc
+
+
+def test_bson_rejects_non_document():
+    with pytest.raises(DataFormatError):
+        bson.encode([1, 2, 3])
+
+
+def test_bson_trailing_bytes_rejected():
+    blob = bson.encode({"a": 1}) + b"junk"
+    with pytest.raises(DataFormatError):
+        bson.decode(blob)
+
+
+def test_bson_nested_arrays():
+    doc = {"xs": [1, [2, 3], {"k": "v"}]}
+    assert bson.decode(bson.encode(doc)) == doc
+
+
+def test_bson_encoded_size_counts():
+    assert bson.encoded_size({"a": 1}) == len(bson.encode({"a": 1}))

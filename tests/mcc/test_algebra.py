@@ -1,0 +1,113 @@
+"""Algebra node and explain-rendering tests."""
+
+from repro.mcc import ast as A
+from repro.mcc.algebra import (
+    ExprScanOp,
+    JoinOp,
+    NestOp,
+    OuterJoinOp,
+    OuterUnnestOp,
+    ReduceOp,
+    ScanOp,
+    SelectOp,
+    UnnestOp,
+    explain,
+)
+from repro.mcc.monoids import get_monoid
+
+
+def test_bound_vars_compose():
+    scan_a = ScanOp("S", "a")
+    scan_b = ScanOp("T", "b")
+    join = JoinOp(scan_a, scan_b, A.Const(True))
+    assert join.bound_vars() == ("a", "b")
+    unnest = UnnestOp(join, A.Proj(A.Var("a"), "xs"), "x")
+    assert unnest.bound_vars() == ("a", "b", "x")
+    outer = OuterUnnestOp(unnest, A.Proj(A.Var("b"), "ys"), "y")
+    assert outer.bound_vars() == ("a", "b", "x", "y")
+
+
+def test_nest_binds_only_group_var():
+    nest = NestOp(
+        ScanOp("S", "s"),
+        keys=(("k", A.Proj(A.Var("s"), "k")),),
+        monoid=get_monoid("sum"),
+        head=A.Proj(A.Var("s"), "v"),
+        group_var="g",
+    )
+    assert nest.bound_vars() == ("g",)
+
+
+def test_explain_all_operators():
+    plan = ReduceOp(
+        SelectOp(
+            OuterJoinOp(
+                UnnestOp(ScanOp("S", "s"), A.Proj(A.Var("s"), "xs"), "x"),
+                ExprScanOp(A.ListLit((A.Const(1),)), "e"),
+                A.Const(True),
+            ),
+            A.BinOp(">", A.Proj(A.Var("x"), "v"), A.Const(0)),
+        ),
+        get_monoid("bag"),
+        A.Var("x"),
+    )
+    text = explain(plan)
+    for fragment in ("Reduce", "Select", "OuterJoin", "Unnest", "Scan(S as s)",
+                     "ExprScan"):
+        assert fragment in text
+
+
+def test_explain_nest():
+    nest = NestOp(
+        ScanOp("S", "s"),
+        keys=(("k", A.Proj(A.Var("s"), "k")),),
+        monoid=get_monoid("avg"),
+        head=A.Proj(A.Var("s"), "v"),
+        group_var="g",
+    )
+    text = explain(ReduceOp(nest, get_monoid("bag"), A.Var("g")))
+    assert "Nest[k=s.k; avg s.v as g]" in text
+
+
+def test_ast_helpers():
+    e = A.BinOp("and", A.BinOp(">", A.Var("a"), A.Const(1)),
+                A.BinOp("and", A.Var("p"), A.Var("q")))
+    parts = A.conjuncts(e)
+    assert len(parts) == 3
+    rebuilt = A.make_conjunction(parts)
+    assert A.conjuncts(rebuilt) == parts
+    assert A.make_conjunction([]) == A.Const(True)
+
+
+def test_free_vars_through_nested_structures():
+    e = A.Comprehension(
+        get_monoid("bag"),
+        A.BinOp("+", A.Var("x"), A.Var("outer")),
+        (A.Generator("x", A.Var("S")),
+         A.Filter(A.BinOp("=", A.Proj(A.Var("x"), "k"), A.Var("key")))),
+    )
+    assert A.free_vars(e) == {"S", "outer", "key"}
+
+
+def test_substitute_shadowing():
+    comp = A.Comprehension(
+        get_monoid("sum"), A.Var("v"),
+        (A.Generator("v", A.Var("S")),),
+    )
+    # v is bound by the generator; substitution must not touch the head
+    out = A.substitute(comp, "v", A.Const(99))
+    assert out.head == A.Var("v")
+
+
+def test_substitute_capture_avoidance():
+    # substituting an expression mentioning 'y' under a generator binding 'y'
+    comp = A.Comprehension(
+        get_monoid("sum"),
+        A.BinOp("+", A.Var("x"), A.Var("y")),
+        (A.Generator("y", A.Var("S")),),
+    )
+    out = A.substitute(comp, "x", A.Var("y"))
+    gen = out.qualifiers[0]
+    assert gen.var != "y"  # the binder was renamed
+    head = out.head
+    assert A.Var("y") in (head.left, head.right)  # the free y survived

@@ -1,0 +1,64 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mcc.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "EOF"]
+
+
+def test_keywords_vs_identifiers():
+    toks = kinds("for yield foo iff")
+    assert toks == [("KEYWORD", "for"), ("KEYWORD", "yield"),
+                    ("IDENT", "foo"), ("IDENT", "iff")]
+
+
+def test_numbers():
+    toks = kinds("1 2.5 1e3 2.5e-2 7")
+    assert [t[0] for t in toks] == ["INT", "FLOAT", "FLOAT", "FLOAT", "INT"]
+
+
+def test_number_then_projection_not_float():
+    # arr[0].x must not lex "0." as a float
+    toks = kinds("a[0].x")
+    values = [t[1] for t in toks]
+    assert "0" in values and "." in values
+
+
+def test_string_escapes():
+    toks = tokenize(r'"a\"b\nc"')
+    assert toks[0].value == 'a"b\nc'
+
+
+def test_single_quoted_strings():
+    assert tokenize("'hi'")[0].value == "hi"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ParseError):
+        tokenize('"abc')
+
+
+def test_multichar_symbols_before_prefixes():
+    toks = kinds("a <- b := c <= d != e")
+    symbols = [v for k, v in toks if k == "SYMBOL"]
+    assert symbols == ["<-", ":=", "<=", "!="]
+
+
+def test_comments_skipped():
+    toks = kinds("a # comment here\n b")
+    assert [v for _k, v in toks] == ["a", "b"]
+
+
+def test_positions_tracked():
+    toks = tokenize("a\n  bc")
+    assert toks[0].line == 1 and toks[0].column == 1
+    assert toks[1].line == 2 and toks[1].column == 3
+
+
+def test_illegal_character():
+    with pytest.raises(ParseError):
+        tokenize("a ~ b")

@@ -1,0 +1,129 @@
+"""Normalization-rule tests (Fegaras-Maier rewrites)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcc import ast as A
+from repro.mcc.monoids import get_monoid
+from repro.mcc.normalize import normalize
+from repro.mcc.parser import parse
+from repro.mcc.pretty import pretty
+
+
+def norm(text):
+    return pretty(normalize(parse(text)))
+
+
+def test_beta_reduction():
+    e = A.Apply(A.Lambda("v", A.BinOp("+", A.Var("v"), A.Const(1))), A.Const(2))
+    assert normalize(e) == A.Const(3)  # (λv.v+1)(2) → 2+1 → 3 (folded)
+
+
+def test_record_projection_simplified():
+    e = parse("(a := 1, b := 2).b")
+    assert normalize(e) == A.Const(2)
+
+
+def test_constant_folding_booleans():
+    assert norm("for { x <- S, true } yield sum x.a") == "for { x <- S } yield sum x.a"
+    assert normalize(parse("for { x <- S, false } yield sum x.a")) == A.Zero(get_monoid("sum"))
+
+
+def test_conjunction_splitting():
+    e = normalize(parse("for { x <- S, x.a > 1 and x.b < 2 } yield sum x.a"))
+    filters = [q for q in e.qualifiers if isinstance(q, A.Filter)]
+    assert len(filters) == 2
+
+
+def test_bind_elimination():
+    out = norm("for { x <- S, v := x.a + 1, v > 2 } yield sum v")
+    assert ":=" not in out
+    assert "x.a + 1" in out
+
+
+def test_generator_unnesting_bag_into_sum():
+    out = norm("for { x <- (for { y <- S, y.a > 1 } yield bag y.b) } yield sum x")
+    assert out == "for { y <- S, y.a > 1 } yield sum y.b"
+
+
+def test_set_generator_not_unnested_into_bag():
+    text = "for { x <- (for { y <- S } yield set y.b) } yield bag x"
+    e = normalize(parse(text))
+    # inner set comprehension must survive (dedup is significant)
+    assert isinstance(e.qualifiers[0], A.Generator)
+    assert isinstance(e.qualifiers[0].source, A.Comprehension)
+    assert e.qualifiers[0].source.monoid.name == "set"
+
+
+def test_singleton_generator():
+    e = A.Comprehension(
+        get_monoid("sum"),
+        A.BinOp("+", A.Var("v"), A.Const(1)),
+        (A.Generator("v", A.Singleton(get_monoid("bag"), A.Const(41))),),
+    )
+    out = normalize(e)
+    assert out == A.Comprehension(get_monoid("sum"), A.Const(42), ())
+
+
+def test_one_element_list_generator():
+    out = norm("for { x <- [5] } yield sum (x + 1)")
+    assert out == "for {  } yield sum 6"
+
+
+def test_empty_list_generator_is_zero():
+    e = normalize(parse("for { x <- [] } yield sum x"))
+    assert isinstance(e, A.Zero)
+
+
+def test_merge_generator_splits():
+    e = A.Comprehension(
+        get_monoid("sum"), A.Var("v"),
+        (A.Generator("v", A.Merge(get_monoid("bag"), A.Var("S"), A.Var("T"))),),
+    )
+    out = normalize(e)
+    assert isinstance(out, A.Merge)
+    assert isinstance(out.left, A.Comprehension)
+
+
+def test_if_generator_splits_into_guarded_merge():
+    e = normalize(parse(
+        "for { x <- (if c then S else T) } yield sum x.a"
+    ))
+    assert isinstance(e, A.Merge)
+    left, right = e.left, e.right
+    assert any(isinstance(q, A.Filter) for q in left.qualifiers)
+    assert any(isinstance(q, A.Filter) for q in right.qualifiers)
+
+
+def test_constant_comparison_folding():
+    assert normalize(parse("3 < 5")) == A.Const(True)
+    assert normalize(parse("if 3 < 5 then 1 else 2")) == A.Const(1)
+
+
+def test_capture_avoiding_substitution():
+    # binding var shadows: inner x must not be replaced
+    e = parse("for { x <- S, v := 1 } yield bag (for { x <- T } yield sum x.a)")
+    out = normalize(e)
+    inner = out.head
+    assert isinstance(inner, A.Comprehension)
+    assert inner.qualifiers[0].var == "x"
+
+
+def test_normalize_idempotent_on_samples():
+    samples = [
+        "for { x <- S, x.a > 1 } yield sum x.a",
+        "for { x <- S, y <- T, x.id = y.id } yield bag (a := x.a)",
+        "for { x <- (for { y <- S } yield bag y.b), x > 2 } yield max x",
+    ]
+    for text in samples:
+        once = normalize(parse(text))
+        twice = normalize(once)
+        assert once == twice
+
+
+@given(st.integers(min_value=-20, max_value=20),
+       st.integers(min_value=-20, max_value=20))
+@settings(max_examples=30, deadline=None)
+def test_constant_arith_comparisons_fold(a, b):
+    e = normalize(parse(f"{a} <= {b}"))
+    assert e == A.Const(a <= b)

@@ -1,0 +1,101 @@
+"""Property: normalization preserves query semantics.
+
+Random comprehensions are evaluated with the expression interpreter before
+and after the Fegaras-Maier rewrites; results must agree. This guards the
+rewrite rules (especially unnesting and its monoid side-conditions) against
+semantic drift.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ViDa
+from repro.core.executor.runtime import QueryRuntime
+from repro.core.executor.static_engine import eval_expr
+from repro.mcc.normalize import normalize
+from repro.mcc.parser import parse
+
+
+@pytest.fixture(scope="module")
+def rt():
+    db = ViDa()
+    db.register_memory("S", [{"a": i, "b": i % 3, "xs": [{"v": j} for j in range(i % 4)]}
+                             for i in range(12)])
+    db.register_memory("T", [{"k": i % 5, "w": i * 2} for i in range(10)])
+    return QueryRuntime(db.catalog, db.cache)
+
+
+_MONOIDS = st.sampled_from(["sum", "bag", "set", "max", "count", "avg"])
+_PRED = st.sampled_from([
+    "x.a > 3", "x.b = 1", "true", "x.a > 2 and x.b != 0",
+    "x.a < 10 or x.b = 2",
+])
+_HEAD = st.sampled_from(["x.a", "x.a + x.b", "1", "x.b * 2"])
+
+
+@given(monoid=_MONOIDS, pred=_PRED, head=_HEAD, use_bind=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_flat_comprehensions_preserved(rt, monoid, pred, head, use_bind):
+    if use_bind:
+        text = (f"for {{ x <- S, v := {head}, {pred} }} yield {monoid} v")
+    else:
+        text = f"for {{ x <- S, {pred} }} yield {monoid} {head}"
+    expr = parse(text)
+    before = eval_expr(expr, {}, rt)
+    after = eval_expr(normalize(expr), {}, rt)
+    _assert_same(before, after)
+
+
+@given(
+    inner_monoid=st.sampled_from(["bag", "list"]),
+    outer_monoid=st.sampled_from(["sum", "bag", "count", "max"]),
+    pred=st.sampled_from(["y.a > 4", "y.b = 0", "true"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_nested_generator_unnesting_preserved(rt, inner_monoid, outer_monoid,
+                                              pred):
+    text = (
+        f"for {{ x <- (for {{ y <- S, {pred} }} yield {inner_monoid} y.a) }} "
+        f"yield {outer_monoid} x"
+    )
+    expr = parse(text)
+    before = eval_expr(expr, {}, rt)
+    after = eval_expr(normalize(expr), {}, rt)
+    _assert_same(before, after)
+
+
+@given(pred=st.sampled_from(["y.b = 1", "y.a >= 6", "true"]))
+@settings(max_examples=30, deadline=None)
+def test_set_generator_dedup_preserved(rt, pred):
+    """The set→bag no-unnest side condition: duplicates must not reappear."""
+    text = (
+        f"for {{ x <- (for {{ y <- S, {pred} }} yield set y.b) }} "
+        "yield count 1"
+    )
+    expr = parse(text)
+    before = eval_expr(expr, {}, rt)
+    after = eval_expr(normalize(expr), {}, rt)
+    assert before == after
+
+
+@given(
+    pred=st.sampled_from(["x.a > 3 and u.v >= 1", "u.v = 0", "true"]),
+    monoid=st.sampled_from(["sum", "count", "bag"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_dependent_generators_preserved(rt, pred, monoid):
+    text = f"for {{ x <- S, u <- x.xs, {pred} }} yield {monoid} u.v"
+    expr = parse(text)
+    before = eval_expr(expr, {}, rt)
+    after = eval_expr(normalize(expr), {}, rt)
+    _assert_same(before, after)
+
+
+def _assert_same(before, after):
+    if isinstance(before, list):
+        assert sorted(map(repr, before)) == sorted(map(repr, after))
+    elif isinstance(before, float):
+        assert after == pytest.approx(before)
+    else:
+        assert before == after

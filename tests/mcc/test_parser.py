@@ -1,0 +1,114 @@
+"""Parser tests: surface syntax → AST."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mcc import ast as A
+from repro.mcc.parser import parse
+
+
+def test_simple_comprehension():
+    e = parse("for { x <- S } yield sum x.a")
+    assert isinstance(e, A.Comprehension)
+    assert e.monoid.name == "sum"
+    assert e.qualifiers == (A.Generator("x", A.Var("S")),)
+    assert e.head == A.Proj(A.Var("x"), "a")
+
+
+def test_paper_example_query():
+    e = parse(
+        'for { e <- Employees, d <- Departments, e.deptNo = d.id, '
+        'd.deptName = "HR"} yield sum 1'
+    )
+    gens = [q for q in e.qualifiers if isinstance(q, A.Generator)]
+    filters = [q for q in e.qualifiers if isinstance(q, A.Filter)]
+    assert [g.var for g in gens] == ["e", "d"]
+    assert len(filters) == 2
+    assert e.head == A.Const(1)
+
+
+def test_record_construction():
+    e = parse("for { x <- S } yield bag (a := x.a, b := 2)")
+    assert isinstance(e.head, A.RecordCons)
+    assert e.head.fields[0][0] == "a"
+    assert e.head.fields[1] == ("b", A.Const(2))
+
+
+def test_parenthesised_grouping_is_not_record():
+    e = parse("(1 + 2) * 3")
+    assert isinstance(e, A.BinOp) and e.op == "*"
+
+
+def test_nested_comprehension():
+    e = parse("for { x <- S } yield bag (k := for { y <- T, y.id = x.id } yield set y)")
+    inner = e.head.fields[0][1]
+    assert isinstance(inner, A.Comprehension)
+    assert inner.monoid.name == "set"
+
+
+def test_bind_qualifier():
+    e = parse("for { x <- S, v := x.a + 1, v > 2 } yield sum v")
+    assert isinstance(e.qualifiers[1], A.Bind)
+
+
+def test_operator_precedence():
+    e = parse("1 + 2 * 3 = 7 and true")
+    assert isinstance(e, A.BinOp) and e.op == "and"
+    cmp_node = e.left
+    assert cmp_node.op == "="
+    assert cmp_node.left.op == "+"
+    assert cmp_node.left.right.op == "*"
+
+
+def test_if_then_else():
+    e = parse("if x > 0 then 1 else -1")
+    assert isinstance(e, A.If)
+    assert isinstance(e.els, A.UnOp)
+
+
+def test_index_expression():
+    e = parse("m[1, 2].v")
+    assert isinstance(e, A.Proj)
+    assert isinstance(e.expr, A.Index)
+    assert len(e.expr.indices) == 2
+
+
+def test_topk_params():
+    e = parse("for { x <- S } yield topk(3) x.v")
+    assert e.monoid.params == (3,)
+
+
+def test_list_literal_and_in():
+    e = parse('x.city in ["geneva", "bern"]')
+    assert e.op == "in"
+    assert isinstance(e.right, A.ListLit)
+
+
+def test_builtin_call():
+    e = parse("lower(x.name)")
+    assert isinstance(e, A.Call) and e.name == "lower"
+
+
+def test_like():
+    e = parse('x.name like "A%"')
+    assert e.op == "like"
+
+
+def test_unknown_monoid_rejected():
+    with pytest.raises(ParseError):
+        parse("for { x <- S } yield frobnicate x")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse("1 + 2 garbage(")
+
+
+def test_empty_qualifiers():
+    e = parse("for { } yield sum 1")
+    assert e.qualifiers == ()
+
+
+def test_null_literal():
+    e = parse("x.a = null")
+    assert isinstance(e.right, A.Null)

@@ -1,0 +1,90 @@
+"""Calculus → algebra translation tests."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.mcc import ast as A
+from repro.mcc.algebra import (
+    ExprScanOp,
+    JoinOp,
+    ReduceOp,
+    ScanOp,
+    SelectOp,
+    UnnestOp,
+    explain,
+)
+from repro.mcc.normalize import normalize
+from repro.mcc.parser import parse
+from repro.mcc.translate import referenced_sources, translate
+
+SOURCES = {"S", "T", "U"}
+
+
+def plan(text):
+    return translate(normalize(parse(text)), SOURCES)
+
+
+def test_single_scan_reduce():
+    p = plan("for { x <- S } yield sum x.a")
+    assert isinstance(p, ReduceOp)
+    assert isinstance(p.child, ScanOp)
+    assert p.child.source == "S"
+
+
+def test_filter_becomes_select():
+    p = plan("for { x <- S, x.a > 1 } yield sum x.a")
+    assert isinstance(p.child, SelectOp)
+    assert isinstance(p.child.child, ScanOp)
+
+
+def test_two_sources_join():
+    p = plan("for { x <- S, y <- T, x.id = y.id } yield count 1")
+    node = p.child
+    assert isinstance(node, SelectOp)  # join predicate as selection over join
+    assert isinstance(node.child, JoinOp)
+
+
+def test_dependent_generator_is_unnest():
+    p = plan("for { x <- S, i <- x.items } yield sum i.v")
+    assert isinstance(p.child, UnnestOp)
+    assert p.child.var == "i"
+
+
+def test_expression_generator():
+    p = plan("for { x <- [1, 2, 3] } yield sum x")
+    assert isinstance(p.child, ExprScanOp)
+
+
+def test_unknown_source_rejected():
+    with pytest.raises(PlanningError):
+        plan("for { x <- Mystery } yield sum x.a")
+
+
+def test_generator_free_comprehension():
+    p = plan("for { } yield sum 1")
+    assert isinstance(p.child, ExprScanOp)
+
+
+def test_three_way_join_left_deep():
+    p = plan(
+        "for { x <- S, y <- T, z <- U, x.id = y.id, y.id = z.id } yield count 1"
+    )
+    # drill to the join tree: Select(Select(Join(Join(S,T),U)))
+    node = p.child
+    while isinstance(node, SelectOp):
+        node = node.child
+    assert isinstance(node, JoinOp)
+    assert isinstance(node.left, JoinOp)
+
+
+def test_explain_renders():
+    p = plan("for { x <- S, x.a > 1, i <- x.items } yield bag (v := i.v)")
+    text = explain(p)
+    assert "Reduce" in text and "Unnest" in text and "Scan(S as x)" in text
+
+
+def test_referenced_sources():
+    e = normalize(parse(
+        "for { x <- S } yield bag (k := for { y <- T } yield sum y.v)"
+    ))
+    assert referenced_sources(e, SOURCES) == {"S", "T"}

@@ -1,0 +1,138 @@
+"""Type-checker tests against catalog-style environments."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.mcc import types as T
+from repro.mcc.parser import parse
+from repro.mcc.typecheck import typecheck
+
+ENV = {
+    "S": T.bag_of(T.RecordType.of({"a": T.INT, "b": T.STRING, "f": T.FLOAT})),
+    "Nested": T.bag_of(T.RecordType.of({
+        "id": T.INT,
+        "items": T.list_of(T.RecordType.of({"v": T.FLOAT})),
+    })),
+    "Grid": T.ArrayType((T.Dim("i"), T.Dim("j")),
+                        T.RecordType.of({"val": T.FLOAT})),
+    "Raw": T.bag_of(T.ANY),
+}
+
+
+def check(text):
+    return typecheck(parse(text), ENV)
+
+
+def test_aggregate_types():
+    assert check("for { x <- S } yield sum x.a") == T.INT
+    assert check("for { x <- S } yield avg x.a") == T.FLOAT
+    assert check("for { x <- S } yield count 1") == T.INT
+    assert check("for { x <- S } yield max x.f") == T.FLOAT
+
+
+def test_collection_result_types():
+    t = check("for { x <- S } yield bag (a := x.a)")
+    assert t == T.bag_of(T.RecordType.of({"a": T.INT}))
+    t = check("for { x <- S } yield set x.b")
+    assert t == T.set_of(T.STRING)
+
+
+def test_unknown_source():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- Unknown } yield sum x.a")
+
+
+def test_unknown_field():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S } yield sum x.nope")
+
+
+def test_filter_must_be_bool():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S, x.a + 1 } yield sum x.a")
+
+
+def test_numeric_monoid_rejects_string_head():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S } yield sum x.b")
+
+
+def test_max_accepts_string():
+    assert check("for { x <- S } yield max x.b") == T.STRING
+
+
+def test_generator_must_be_collection():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S, y <- x.a } yield sum y")
+
+
+def test_nested_collection_generator():
+    assert check("for { n <- Nested, i <- n.items } yield sum i.v") == T.FLOAT
+
+
+def test_array_generator_binds_dims_and_fields():
+    assert check("for { c <- Grid } yield sum c.val") == T.FLOAT
+    assert check("for { c <- Grid, c.i = 0 } yield sum c.val") == T.FLOAT
+
+
+def test_array_indexing():
+    env = dict(ENV)
+    # indexing with full rank gives the element type
+    assert typecheck(parse("for { c <- Grid, c.i > 0 } yield avg c.val"), env) == T.FLOAT
+
+
+def test_gradual_typing_any_source():
+    assert check("for { r <- Raw, r.whatever > 1 } yield count 1") == T.INT
+
+
+def test_comparison_type_mismatch():
+    with pytest.raises(TypeCheckError):
+        check('for { x <- S, x.a = "text" } yield sum x.a')
+
+
+def test_arithmetic_type_error():
+    with pytest.raises(TypeCheckError):
+        check('for { x <- S } yield sum (x.b * 2)')
+
+
+def test_string_concat_allowed():
+    assert check('for { x <- S } yield bag (x.b + "!")') == T.bag_of(T.STRING)
+
+
+def test_if_branch_unification():
+    assert check("for { x <- S } yield sum (if x.a > 0 then x.a else x.f)") == T.FLOAT
+
+
+def test_if_branch_incompatible():
+    with pytest.raises(TypeCheckError):
+        check('for { x <- S } yield bag (if x.a > 0 then x.a else x.b)')
+
+
+def test_in_needs_collection():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S, x.a in x.b } yield sum x.a")
+    assert check("for { x <- S, x.a in [1, 2] } yield sum x.a") == T.INT
+
+
+def test_record_duplicate_field():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S } yield bag (a := 1, a := 2)")
+
+
+def test_unbound_variable():
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S } yield sum y.a")
+
+
+def test_all_any_need_bool():
+    assert check("for { x <- S } yield all (x.a > 0)") == T.BOOL
+    with pytest.raises(TypeCheckError):
+        check("for { x <- S } yield all x.a")
+
+
+def test_bind_qualifier_typing():
+    assert check("for { x <- S, v := x.a * 2, v > 3 } yield sum v") == T.INT
+
+
+def test_heterogeneous_list_degrades_to_any():
+    assert check('for { x <- S } yield bag [x.a, x.b]') == T.bag_of(T.list_of(T.ANY))

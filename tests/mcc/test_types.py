@@ -1,0 +1,83 @@
+"""Type-system tests: construction, unification, inference from values."""
+
+import pytest
+
+from repro.mcc import types as T
+
+
+def test_primitive_validation():
+    with pytest.raises(ValueError):
+        T.PrimitiveType("decimal")
+
+
+def test_record_field_lookup():
+    r = T.RecordType.of({"a": T.INT, "b": T.STRING})
+    assert r.field_type("a") == T.INT
+    assert r.field_type("missing") is None
+    assert r.field_names() == ("a", "b")
+
+
+def test_collection_kind_validation():
+    with pytest.raises(ValueError):
+        T.CollectionType("queue", T.INT)
+
+
+def test_unify_numeric_widening():
+    assert T.unify(T.INT, T.FLOAT) == T.FLOAT
+    assert T.unify(T.FLOAT, T.INT) == T.FLOAT
+
+
+def test_unify_null_makes_nullable():
+    assert T.unify(T.NULL, T.INT) == T.INT
+    assert T.unify(T.STRING, T.NULL) == T.STRING
+
+
+def test_unify_any():
+    assert T.unify(T.ANY, T.INT) == T.INT
+    assert T.unify(T.bag_of(T.INT), T.ANY) == T.bag_of(T.INT)
+
+
+def test_unify_incompatible():
+    assert T.unify(T.INT, T.STRING) is None
+    assert T.unify(T.bag_of(T.INT), T.INT) is None
+
+
+def test_unify_collections_kind_widening():
+    assert T.unify(T.list_of(T.INT), T.set_of(T.INT)) == T.bag_of(T.INT)
+    assert T.unify(T.list_of(T.INT), T.list_of(T.FLOAT)) == T.list_of(T.FLOAT)
+
+
+def test_unify_records_fieldwise():
+    a = T.RecordType.of({"x": T.INT, "y": T.NULL})
+    b = T.RecordType.of({"x": T.FLOAT, "y": T.STRING})
+    u = T.unify(a, b)
+    assert u.field_type("x") == T.FLOAT
+    assert u.field_type("y") == T.STRING
+
+
+def test_unify_records_mismatched_fields():
+    a = T.RecordType.of({"x": T.INT})
+    b = T.RecordType.of({"y": T.INT})
+    assert T.unify(a, b) is None
+
+
+def test_array_type():
+    arr = T.ArrayType((T.Dim("i"), T.Dim("j")), T.FLOAT)
+    assert arr.rank == 2
+    assert "array" in str(arr)
+
+
+def test_type_of_python_value():
+    assert T.type_of_python_value(3) == T.INT
+    assert T.type_of_python_value(True) == T.BOOL  # bool before int!
+    assert T.type_of_python_value(None) == T.NULL
+    t = T.type_of_python_value({"a": 1, "b": [1.5, 2.5]})
+    assert t.field_type("a") == T.INT
+    assert t.field_type("b") == T.list_of(T.FLOAT)
+
+
+def test_is_numeric():
+    assert T.INT.is_numeric()
+    assert T.FLOAT.is_numeric()
+    assert not T.STRING.is_numeric()
+    assert not T.bag_of(T.INT).is_numeric()

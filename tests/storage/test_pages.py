@@ -1,0 +1,124 @@
+"""Slotted pages, heap files, and tuple encoding tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.pages import (
+    PAGE_SIZE,
+    HeapFile,
+    SlottedPage,
+    decode_tuple,
+    encode_tuple,
+)
+
+
+def test_page_insert_and_read():
+    page = SlottedPage()
+    s0 = page.insert(b"hello")
+    s1 = page.insert(b"world!")
+    assert page.read(s0) == b"hello"
+    assert page.read(s1) == b"world!"
+    assert len(page) == 2
+
+
+def test_page_full_returns_none():
+    page = SlottedPage()
+    payload = b"x" * 1000
+    inserted = 0
+    while page.insert(payload) is not None:
+        inserted += 1
+    assert inserted == (PAGE_SIZE - 4) // (1000 + 4)
+
+
+def test_page_serialisation_roundtrip():
+    page = SlottedPage()
+    page.insert(b"abc")
+    page.insert(b"defgh")
+    restored = SlottedPage(bytearray(page.data))
+    assert list(restored) == [b"abc", b"defgh"]
+
+
+def test_page_slot_bounds():
+    page = SlottedPage()
+    page.insert(b"a")
+    with pytest.raises(StorageError):
+        page.read(5)
+
+
+def test_heap_append_scan(tmp_path):
+    heap = HeapFile(tmp_path / "t.heap")
+    rids = [heap.append(f"tuple{i}".encode()) for i in range(500)]
+    heap.flush()
+    scanned = list(heap.scan())
+    assert len(scanned) == 500
+    assert scanned[0][1] == b"tuple0"
+    assert heap.fetch(rids[123]) == b"tuple123"
+    assert heap.page_count >= 1
+
+
+def test_heap_rejects_oversized_tuple(tmp_path):
+    heap = HeapFile(tmp_path / "t.heap")
+    with pytest.raises(StorageError):
+        heap.append(b"x" * PAGE_SIZE)
+
+
+def test_heap_spills_to_multiple_pages(tmp_path):
+    heap = HeapFile(tmp_path / "big.heap")
+    for i in range(30):
+        heap.append(b"y" * 1000)
+    heap.flush()
+    assert heap.page_count > 1
+    assert len(list(heap.scan())) == 30
+
+
+# -- tuple encoding -----------------------------------------------------------
+
+
+def test_encode_decode_basic():
+    types = ("int", "float", "string", "bool")
+    values = (42, 3.25, "héllo", True)
+    assert decode_tuple(encode_tuple(values, types), types) == values
+
+
+def test_encode_decode_nulls():
+    types = ("int", "string", "float")
+    values = (None, None, 1.5)
+    assert decode_tuple(encode_tuple(values, types), types) == values
+
+
+def test_wide_tuple_null_bitmap():
+    """> 32 columns exercises the extended null bitmap."""
+    ncols = 70
+    types = tuple(["int"] * ncols)
+    values = tuple(None if i % 3 == 0 else i for i in range(ncols))
+    assert decode_tuple(encode_tuple(values, types), types) == values
+
+
+_col_types = st.sampled_from(["int", "float", "string", "bool"])
+
+
+@st.composite
+def _typed_rows(draw):
+    types = tuple(draw(st.lists(_col_types, min_size=1, max_size=40)))
+    values = []
+    for t in types:
+        if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+            values.append(None)
+        elif t == "int":
+            values.append(draw(st.integers(-(2**40), 2**40)))
+        elif t == "float":
+            values.append(draw(st.floats(allow_nan=False, allow_infinity=False)))
+        elif t == "bool":
+            values.append(draw(st.booleans()))
+        else:
+            values.append(draw(st.text(max_size=20)))
+    return types, tuple(values)
+
+
+@given(_typed_rows())
+@settings(max_examples=80, deadline=None)
+def test_tuple_roundtrip_property(case):
+    types, values = case
+    assert decode_tuple(encode_tuple(values, types), types) == values

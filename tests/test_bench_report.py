@@ -1,0 +1,42 @@
+"""Bench reporting helper tests."""
+
+import os
+
+from repro.bench import emit, table
+
+
+def test_table_alignment():
+    lines = table(["name", "value"], [["a", 1.5], ["longer-name", 123456.0]])
+    assert lines[0].startswith("name")
+    assert "-" in lines[1]
+    assert len(lines) == 4
+    # columns align: every rendered line has the same total width
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_table_float_formatting():
+    lines = table(["v"], [[0.12345], [12.3456], [1234.56]])
+    assert "0.1234" in lines[2] or "0.1235" in lines[2]
+    assert "12.35" in lines[3] or "12.34" in lines[3]
+    assert "1234.6" in lines[4]
+
+
+def test_emit_appends_to_log(tmp_path, monkeypatch):
+    log = tmp_path / "bench.log"
+    monkeypatch.setenv("VIDA_BENCH_LOG", str(log))
+    emit("my experiment", ["row one", "row two"])
+    content = log.read_text()
+    assert "=== my experiment ===" in content
+    assert "row two" in content
+    emit("second", ["x"])
+    assert "second" in log.read_text()
+
+
+def test_reset_log(tmp_path, monkeypatch):
+    from repro.bench import reset_log
+
+    log = tmp_path / "bench.log"
+    monkeypatch.setenv("VIDA_BENCH_LOG", str(log))
+    emit("t", ["a"])
+    reset_log()
+    assert log.read_text() == ""

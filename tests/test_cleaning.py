@@ -1,0 +1,150 @@
+"""Data-cleaning policy tests (paper §7)."""
+
+import pytest
+
+from repro import CleaningError, ViDa
+from repro.cleaning import (
+    DictionaryPolicy,
+    NullPolicy,
+    RaisePolicy,
+    SkipPolicy,
+    hamming,
+    nearest_value,
+)
+
+
+@pytest.fixture()
+def dirty_csv(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(
+        "id,age,city\n"
+        "1,30,geneva\n"
+        "2,notanumber,lausanne\n"
+        "3,45,genevq\n"          # typo city (conversion fine, string col)
+        "4,52,bern\n"
+        "5,abc,zurich\n"
+    )
+    return str(path)
+
+
+def _db(dirty_csv, policy):
+    db = ViDa()
+    db.register_csv("T", dirty_csv, columns=["id", "age", "city"],
+                    types=["int", "int", "string"])
+    if policy is not None:
+        db.set_cleaning("T", policy)
+    return db
+
+
+def test_no_policy_raises(dirty_csv):
+    db = _db(dirty_csv, None)
+    with pytest.raises(Exception):
+        db.query("for { t <- T } yield sum t.age")
+
+
+def test_skip_policy(dirty_csv):
+    db = _db(dirty_csv, SkipPolicy())
+    r = db.query("for { t <- T } yield bag (id := t.id, age := t.age)")
+    assert [row["id"] for row in r.value] == [1, 3, 4]
+    assert r.stats.skipped_rows == 2
+
+
+def test_skip_policy_static_engine_agrees(dirty_csv):
+    db = _db(dirty_csv, SkipPolicy())
+    jit = db.query("for { t <- T } yield sum t.age").value
+    db2 = _db(dirty_csv, SkipPolicy())
+    static = db2.query("for { t <- T } yield sum t.age", engine="static").value
+    assert jit == static == 30 + 45 + 52
+
+
+def test_null_policy(dirty_csv):
+    db = _db(dirty_csv, NullPolicy())
+    r = db.query("for { t <- T } yield bag (age := t.age)")
+    ages = [row["age"] for row in r.value]
+    assert ages == [30, None, 45, 52, None]
+    assert db.query("for { t <- T } yield count 1").value == 5
+
+
+def test_raise_policy(dirty_csv):
+    db = _db(dirty_csv, RaisePolicy())
+    with pytest.raises(CleaningError) as err:
+        db.query("for { t <- T } yield sum t.age")
+    assert err.value.row == 1
+    assert err.value.field == "age"
+
+
+def test_dictionary_policy_range_repair(dirty_csv):
+    policy = DictionaryPolicy(ranges={"age": (0, 120)}, fallback_skip=False)
+    db = _db(dirty_csv, policy)
+    r = db.query("for { t <- T } yield bag (age := t.age)")
+    # unparseable ages become the range midpoint
+    assert [row["age"] for row in r.value] == [30, 60.0, 45, 52, 60.0]
+    assert policy.repairs == 2
+
+
+def test_dictionary_policy_range_clamps(tmp_path):
+    path = tmp_path / "r.csv"
+    path.write_text("id,age\n1,300\n2,45\n")
+    policy = DictionaryPolicy(ranges={"age": (0, 120)})
+    db = ViDa()
+    db.register_csv("T", path, columns=["id", "age"], types=["int", "int"])
+    db.set_cleaning("T", policy)
+    # clamping applies only on the repair path (row must trigger repair);
+    # exercise repair() directly for the clamp behaviour:
+    plugin = db.catalog.get("T").plugin
+    assert policy.repair(plugin, 0, ["1", "300"], [0, 1]) == (1, 120)
+
+
+def test_dictionary_policy_repairs_valid_parse_invalid_domain(dirty_csv):
+    """'genevq' parses fine as a string but is not a valid city; the policy
+    must still repair it (paper: dictionaries of valid values)."""
+    policy = DictionaryPolicy(
+        dictionaries={"city": ["geneva", "lausanne", "bern", "zurich"]},
+        ranges={"age": (0, 120)},
+        fallback_skip=False,
+    )
+    db = _db(dirty_csv, policy)
+    r = db.query("for { t <- T } yield bag (city := t.city)")
+    assert [row["city"] for row in r.value] == \
+        ["geneva", "lausanne", "geneva", "bern", "zurich"]
+    db2 = _db(dirty_csv, DictionaryPolicy(
+        dictionaries={"city": ["geneva", "lausanne", "bern", "zurich"]},
+        ranges={"age": (0, 120)}, fallback_skip=False))
+    static = db2.query("for { t <- T } yield bag (city := t.city)",
+                       engine="static")
+    assert [row["city"] for row in static.value] == \
+        [row["city"] for row in r.value]
+
+
+def test_dictionary_policy_nearest_value():
+    assert nearest_value("genevq", ["geneva", "bern", "zurich"]) == "geneva"
+    assert nearest_value("xx", []) is None
+
+
+def test_hamming():
+    assert hamming("karolin", "kathrin") == 3
+    assert hamming("", "") == 0
+    with pytest.raises(ValueError):
+        hamming("ab", "abc")
+
+
+def test_cleaning_with_warm_scan(dirty_csv):
+    """Cleaning must survive the positional-map (warm) access path too."""
+    db = _db(dirty_csv, SkipPolicy())
+    first = db.query("for { t <- T } yield sum t.age").value
+    db.cache.clear()  # force re-scan via the warm path
+    second = db.query("for { t <- T } yield sum t.age").value
+    assert first == second == 30 + 45 + 52
+
+
+def test_projection_pushdown_avoids_dirty_fields(dirty_csv):
+    """A query that never touches the dirty column sees every row — the
+    paper's point that raw access costs (and failures) are per-attribute."""
+    db = _db(dirty_csv, SkipPolicy())
+    assert db.query("for { t <- T } yield count 1").value == 5
+
+
+def test_set_cleaning_unknown_source():
+    db = ViDa()
+    with pytest.raises(Exception):
+        db.set_cleaning("Nope", SkipPolicy())

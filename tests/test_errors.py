@@ -1,0 +1,37 @@
+"""Error hierarchy and message-formatting tests."""
+
+import pytest
+
+from repro import errors as E
+
+
+def test_all_errors_derive_from_vida_error():
+    for name in ("ParseError", "TypeCheckError", "CatalogError",
+                 "PlanningError", "CodegenError", "ExecutionError",
+                 "DataFormatError", "CleaningError", "StorageError",
+                 "WarehouseError"):
+        cls = getattr(E, name)
+        assert issubclass(cls, E.ViDaError)
+
+
+def test_parse_error_location():
+    err = E.ParseError("unexpected token", line=3, column=7)
+    assert "line 3" in str(err) and "column 7" in str(err)
+    assert err.line == 3 and err.column == 7
+    bare = E.ParseError("oops")
+    assert str(bare) == "oops"
+
+
+def test_cleaning_error_context():
+    err = E.CleaningError("bad value", row=12, field="age")
+    assert "row 12" in str(err) and "'age'" in str(err)
+    assert err.row == 12 and err.field == "age"
+
+
+def test_cleaning_error_is_data_format_error():
+    assert issubclass(E.CleaningError, E.DataFormatError)
+
+
+def test_catching_base_class():
+    with pytest.raises(E.ViDaError):
+        raise E.PlanningError("no plan")

@@ -1,0 +1,77 @@
+"""PathQL (XPath-flavoured dialect) tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.languages.pathql import _split_steps, translate_path
+from repro.mcc.pretty import pretty
+
+
+def test_split_steps():
+    assert _split_steps("/A/b[c > 1]/d") == ["A", "b[c > 1]", "d"]
+    assert _split_steps('/A[x = "a/b"]') == ['A[x = "a/b"]']
+
+
+def test_split_steps_errors():
+    with pytest.raises(ParseError):
+        _split_steps("A/b")
+    with pytest.raises(ParseError):
+        _split_steps("/A[b")
+    with pytest.raises(ParseError):
+        _split_steps("/A//b")
+
+
+def test_translation_shape(db):
+    expr = translate_path("/Patients[age > 60]/id", db.catalog)
+    text = pretty(expr)
+    assert "Patients" in text and "_s0.age > 60" in text and "_s0.id" in text
+
+
+def test_unknown_source(db):
+    with pytest.raises(ParseError):
+        translate_path("/Nope/id", db.catalog)
+
+
+def test_simple_projection(db):
+    ids = db.path("/Patients[age > 70]/id").value
+    check = db.query("for { p <- Patients, p.age > 70 } yield bag p.id").value
+    assert ids == check
+
+
+def test_whole_elements(db):
+    out = db.path('/Patients[gender = "f" and age < 25]').value
+    assert all(row["gender"] == "f" for row in out)
+
+
+def test_descend_into_collections(db):
+    names = db.path("/BrainRegions/regions[volume > 12.0]/name").value
+    check = db.query(
+        "for { b <- BrainRegions, r <- b.regions, r.volume > 12.0 } "
+        "yield bag r.name"
+    ).value
+    assert names == check
+    assert len(names) > 0
+
+
+def test_predicate_on_source_then_descend(db):
+    out = db.path("/BrainRegions[quality >= 0.9]/regions/volume").value
+    check = db.query(
+        "for { b <- BrainRegions, b.quality >= 0.9, r <- b.regions } "
+        "yield bag r.volume"
+    ).value
+    assert out == check
+
+
+def test_terminal_collection_step_with_predicate(db):
+    out = db.path("/BrainRegions/regions[volume > 13.0]").value
+    assert all(r["volume"] > 13.0 for r in out)
+
+
+def test_pathql_engines_agree(db):
+    q = "/BrainRegions/regions[volume > 12.0]/name"
+    assert db.path(q).value == db.path(q, engine="static").value
+
+
+def test_pathql_output_shaping(db):
+    out = db.path("/Patients[age > 70]/id", output="columns")
+    assert "value" in out.value

@@ -1,0 +1,168 @@
+"""SQL layer tests: parsing + translation + execution through ViDa."""
+
+import pytest
+
+from repro import ViDa
+from repro.errors import ParseError, TypeCheckError
+from repro.formats import write_csv
+from repro.languages.sql import parse_sql, translate_sql
+from repro.languages.sql import ast as S
+
+
+@pytest.fixture()
+def sqldb(tmp_path):
+    write_csv(tmp_path / "emp.csv", ["id", "dept", "salary", "name"],
+              [(i, ["hr", "it", "ops"][i % 3], 1000 + 100 * i, f"e{i}")
+               for i in range(30)])
+    write_csv(tmp_path / "dept.csv", ["dept", "budget"],
+              [("hr", 10_000), ("it", 50_000), ("ops", 20_000)])
+    db = ViDa()
+    db.register_csv("Employees", tmp_path / "emp.csv")
+    db.register_csv("Departments", tmp_path / "dept.csv")
+    return db
+
+
+# -- parser -----------------------------------------------------------
+
+
+def test_parse_select_shape():
+    stmt = parse_sql(
+        "SELECT e.name AS n, e.salary FROM Employees e "
+        "JOIN Departments d ON e.dept = d.dept "
+        "WHERE e.salary > 2000 AND d.budget >= 10000 "
+        "ORDER BY e.salary DESC LIMIT 5"
+    )
+    assert stmt.items[0].alias == "n"
+    assert stmt.joins[0].table.alias == "d"
+    assert stmt.order_by[0].descending
+    assert stmt.limit == 5
+
+
+def test_parse_aggregates():
+    stmt = parse_sql("SELECT COUNT(*), AVG(salary), COUNT(DISTINCT dept) FROM T")
+    aggs = [i.expr for i in stmt.items]
+    assert aggs[0].arg is None
+    assert aggs[1].func == "avg"
+    assert aggs[2].distinct
+
+
+def test_parse_between_and_is_null():
+    stmt = parse_sql("SELECT a FROM T WHERE a BETWEEN 1 AND 5 AND b IS NOT NULL")
+    cond = stmt.where
+    assert isinstance(cond, S.SQLBinOp) and cond.op == "and"
+
+
+def test_parse_in_list_and_strings():
+    stmt = parse_sql("SELECT a FROM T WHERE name IN ('it''s', 'b')")
+    inlist = stmt.where
+    assert isinstance(inlist, S.InList)
+    assert inlist.items[0].value == "it's"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_sql("SELECT FROM T")
+    with pytest.raises(ParseError):
+        parse_sql("SELECT a FROM T WHERE frobnicate(a)")
+    with pytest.raises(ParseError):
+        parse_sql("SELECT a FROM T; SELECT b FROM T")
+
+
+# -- execution -----------------------------------------------------------
+
+
+def test_sql_count(sqldb):
+    assert sqldb.sql("SELECT COUNT(*) FROM Employees e WHERE e.salary >= 2000").value == 20
+
+
+def test_sql_join_projection(sqldb):
+    out = sqldb.sql(
+        "SELECT e.name, d.budget FROM Employees e "
+        "JOIN Departments d ON e.dept = d.dept WHERE d.budget > 15000 "
+    ).value
+    assert all(row["budget"] > 15000 for row in out)
+    assert len(out) == 20  # it + ops
+
+
+def test_sql_unqualified_columns_resolve(sqldb):
+    out = sqldb.sql("SELECT name FROM Employees e WHERE salary = 1000").value
+    assert out == [{"name": "e0"}]
+
+
+def test_sql_ambiguous_column_rejected(sqldb):
+    with pytest.raises(TypeCheckError):
+        sqldb.sql(
+            "SELECT dept FROM Employees e JOIN Departments d ON e.dept = d.dept"
+        )
+
+
+def test_sql_group_by_having(sqldb):
+    out = sqldb.sql(
+        "SELECT dept, COUNT(*) AS n, MAX(salary) AS top FROM Employees e "
+        "GROUP BY dept HAVING COUNT(*) >= 10"
+    ).value
+    assert {r["dept"] for r in out} == {"hr", "it", "ops"}
+    assert all(r["n"] == 10 for r in out)
+
+
+def test_sql_order_by_limit(sqldb):
+    out = sqldb.sql(
+        "SELECT e.id FROM Employees e ORDER BY e.salary DESC LIMIT 3"
+    ).value
+    assert [r["id"] for r in out] == [29, 28, 27]
+
+
+def test_sql_distinct(sqldb):
+    out = sqldb.sql("SELECT DISTINCT dept FROM Employees e").value
+    assert len(out) == 3
+
+
+def test_sql_multi_aggregate_record(sqldb):
+    out = sqldb.sql(
+        "SELECT COUNT(*) AS n, AVG(salary) AS a FROM Employees e"
+    ).value
+    assert out["n"] == 30
+    assert out["a"] == pytest.approx(1000 + 100 * 14.5)
+
+
+def test_sql_count_distinct(sqldb):
+    assert sqldb.sql("SELECT COUNT(DISTINCT dept) FROM Employees e").value == 3
+
+
+def test_sql_count_column_skips_nulls(tmp_path):
+    write_csv(tmp_path / "t.csv", ["a", "b"], [(1, 10), (2, None), (3, 30)])
+    db = ViDa()
+    db.register_csv("T", tmp_path / "t.csv")
+    assert db.sql("SELECT COUNT(b) FROM T t").value == 2
+    assert db.sql("SELECT COUNT(*) FROM T t").value == 3
+
+
+def test_sql_between(sqldb):
+    out = sqldb.sql(
+        "SELECT e.id FROM Employees e WHERE e.salary BETWEEN 1100 AND 1300"
+    ).value
+    assert [r["id"] for r in out] == [1, 2, 3]
+
+
+def test_sql_like(sqldb):
+    out = sqldb.sql("SELECT e.id FROM Employees e WHERE e.name LIKE 'e2%'").value
+    assert sorted(r["id"] for r in out) == [2, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29]
+
+
+def test_sql_star(sqldb):
+    out = sqldb.sql("SELECT * FROM Departments d").value
+    assert len(out) == 3 and "budget" in out[0]
+
+
+def test_sql_translation_produces_comprehension(sqldb):
+    expr = translate_sql("SELECT COUNT(*) FROM Employees e WHERE e.salary > 0",
+                         sqldb.catalog)
+    from repro.mcc import ast as A
+
+    assert isinstance(expr, A.Comprehension)
+    assert expr.monoid.name == "count"
+
+
+def test_sql_mixing_agg_and_plain_rejected(sqldb):
+    with pytest.raises(ParseError):
+        sqldb.sql("SELECT dept, COUNT(*) FROM Employees e")

@@ -1,0 +1,92 @@
+"""HBP workload generator + cross-system runner tests."""
+
+import pytest
+
+from repro.workloads import (
+    BASELINES,
+    HBPConfig,
+    PAPER_TABLE2,
+    generate_datasets,
+    make_workload,
+    normalize_result,
+    run_baseline,
+    run_vida,
+)
+
+
+@pytest.fixture(scope="module")
+def datasets(tmp_path_factory):
+    return generate_datasets(tmp_path_factory.mktemp("hbp"), HBPConfig.tiny())
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return make_workload(HBPConfig.tiny())
+
+
+def test_generation_deterministic(tmp_path_factory, datasets):
+    other = generate_datasets(tmp_path_factory.mktemp("hbp2"), HBPConfig.tiny())
+    assert open(datasets.patients_csv).read() == open(other.patients_csv).read()
+    assert open(datasets.brain_json).read() == open(other.brain_json).read()
+
+
+def test_table2_shape(datasets):
+    rows = datasets.table2_rows()
+    assert [r["relation"] for r in rows] == [r["relation"] for r in PAPER_TABLE2]
+    by_name = {r["relation"]: r for r in rows}
+    cfg = datasets.config
+    assert by_name["Patients"]["tuples"] == cfg.patients_rows
+    assert by_name["Genetics"]["attributes"] == cfg.genetics_snps + 1
+    assert all(r["bytes"] > 0 for r in rows)
+
+
+def test_workload_structure(queries):
+    cfg = HBPConfig.tiny()
+    assert len(queries) == cfg.n_queries
+    kinds = {q.kind for q in queries}
+    assert kinds == {"epidemiological", "interactive"}
+    hot_fraction = sum(q.hot for q in queries) / len(queries)
+    assert hot_fraction >= 0.5  # locality model dominates
+    for q in queries:
+        assert "yield" in q.comprehension
+        assert q.spec.sources[0] == "Patients"
+        if q.kind == "interactive":
+            assert 1 <= len(q.spec.project) <= 6
+            assert q.spec.distinct
+
+
+def test_workload_deterministic():
+    a = make_workload(HBPConfig.tiny())
+    b = make_workload(HBPConfig.tiny())
+    assert [q.comprehension for q in a] == [q.comprehension for q in b]
+
+
+def test_vida_runs_workload(datasets, queries):
+    timing, db, results = run_vida(datasets, queries)
+    assert len(results) == len(queries)
+    assert timing.query_s > 0
+    assert 0 <= timing.extra["cache_hit_ratio"] <= 1
+
+
+@pytest.mark.parametrize("kind", BASELINES)
+def test_baselines_match_vida(tmp_path_factory, datasets, queries, kind):
+    """Every baseline configuration computes the same answers as ViDa."""
+    _vt, _db, vida_results = run_vida(datasets, queries)
+    workdir = str(tmp_path_factory.mktemp(f"wh_{kind.replace('+', '_')}"))
+    _bt, base_results = run_baseline(kind, datasets, queries, workdir)
+    for i, (a, b) in enumerate(zip(vida_results, base_results)):
+        assert normalize_result(a) == normalize_result(b), (
+            f"query {i} ({queries[i].kind}): {queries[i].comprehension}"
+        )
+
+
+def test_normalize_result_handles_shapes():
+    assert normalize_result(3.0000001) == normalize_result(3.0000002)
+    assert normalize_result([{"a": 1}, {"a": 2}]) == \
+        normalize_result([{"a": 2}, {"a": 1}])
+    assert normalize_result({"count": 5}) == 5
+
+
+def test_unknown_baseline_rejected(datasets, queries, tmp_path):
+    with pytest.raises(ValueError):
+        run_baseline("duckdb", datasets, queries, str(tmp_path))

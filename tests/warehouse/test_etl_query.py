@@ -1,0 +1,187 @@
+"""ETL (flattening/loading), spec runner, and integration layer tests."""
+
+import json
+
+import pytest
+
+from repro.warehouse import (
+    ColStore,
+    ColStoreAdapter,
+    DocStore,
+    DocStoreAdapter,
+    Filter,
+    IntegrationLayer,
+    QuerySpec,
+    RowStore,
+    RowStoreAdapter,
+    flatten_json_to_csv,
+    load_csv_to_colstore,
+    load_csv_to_rowstore,
+    load_json_to_docstore,
+    run_spec,
+)
+from repro.formats import CSVSource, write_csv
+
+
+@pytest.fixture()
+def nested_json(tmp_path):
+    path = tmp_path / "n.json"
+    with open(path, "w") as fh:
+        for i in range(6):
+            fh.write(json.dumps({
+                "id": i,
+                "meta": {"v": i % 2},
+                "items": [{"name": f"n{j}", "qty": j} for j in range(3)],
+            }) + "\n")
+    return str(path)
+
+
+def test_flatten_explodes_record_arrays(nested_json, tmp_path):
+    out = tmp_path / "flat.csv"
+    report = flatten_json_to_csv(nested_json, out)
+    assert report.rows == 18  # 6 objects × 3 items — the paper's redundancy
+    src = CSVSource(out)
+    assert "meta.v" in src.columns
+    assert "items.name" in src.columns
+    rows = list(src.scan(["id", "items.qty"]))
+    assert rows[:3] == [(0, 0), (0, 1), (0, 2)]
+
+
+def test_flatten_object_without_arrays(tmp_path):
+    path = tmp_path / "o.json"
+    path.write_text(json.dumps({"a": 1, "b": {"c": 2}, "xs": [1, 2]}) + "\n")
+    out = tmp_path / "o.csv"
+    report = flatten_json_to_csv(str(path), out)
+    assert report.rows == 1
+    src = CSVSource(out)
+    assert set(src.columns) == {"a", "b.c", "xs"}
+
+
+def test_load_csv_to_stores(tmp_path):
+    csv_path = tmp_path / "t.csv"
+    write_csv(csv_path, ["id", "v"], [(i, i * 2) for i in range(50)])
+    col = ColStore()
+    rep1 = load_csv_to_colstore(col, "T", csv_path)
+    assert rep1.rows == 50 and col.row_count("T") == 50
+    row = RowStore(tmp_path / "heaps")
+    rep2 = load_csv_to_rowstore(row, "T", csv_path)
+    assert rep2.rows == 50 and row.row_count("T") == 50
+
+
+def test_load_wide_csv_partitions(tmp_path):
+    from repro.warehouse.rowstore import MAX_ATTRS
+
+    ncols = MAX_ATTRS + 20
+    cols = ["id"] + [f"c{i}" for i in range(ncols - 1)]
+    csv_path = tmp_path / "wide.csv"
+    write_csv(csv_path, cols, [tuple(r * 1000 + i for i in range(ncols))
+                               for r in range(10)])
+    store = RowStore(tmp_path / "heaps")
+    load_csv_to_rowstore(store, "W", csv_path)
+    assert store.tables["W"].partitions
+    got = list(store.scan("W", ["id", f"c{ncols - 2}"]))
+    assert got[1] == (1000, 1000 + ncols - 1)
+
+
+def test_load_json_to_docstore(nested_json):
+    store = DocStore()
+    rep = load_json_to_docstore(store, "N", nested_json)
+    assert rep.rows == 6
+    assert "id" in store.collections["N"].indexes
+
+
+# -- spec runner -----------------------------------------------------------
+
+
+@pytest.fixture()
+def loaded_stores(tmp_path):
+    write_csv(tmp_path / "p.csv", ["id", "age"],
+              [(i, 20 + i) for i in range(20)])
+    write_csv(tmp_path / "g.csv", ["id", "snp"],
+              [(i, i % 3) for i in range(20)])
+    col = ColStore()
+    load_csv_to_colstore(col, "P", tmp_path / "p.csv")
+    load_csv_to_colstore(col, "G", tmp_path / "g.csv")
+    return col
+
+
+def test_run_spec_single_source(loaded_stores):
+    spec = QuerySpec(
+        sources=("P",),
+        filters={"P": (Filter("age", ">", 30),)},
+        project=(("P", "id", "id"),),
+    )
+    out = run_spec(spec, {"P": ColStoreAdapter(loaded_stores, "P")})
+    assert [r["id"] for r in out] == list(range(11, 20))
+
+
+def test_run_spec_join_and_aggregate(loaded_stores):
+    spec = QuerySpec(
+        sources=("P", "G"),
+        filters={"G": (Filter("snp", "=", 1),)},
+        project=(("P", "id", "id"), ("P", "age", "value")),
+        aggregate=("avg", "value"),
+    )
+    out = run_spec(spec, {
+        "P": ColStoreAdapter(loaded_stores, "P"),
+        "G": ColStoreAdapter(loaded_stores, "G"),
+    })
+    ids = [i for i in range(20) if i % 3 == 1]
+    assert out["avg"] == pytest.approx(sum(20 + i for i in ids) / len(ids))
+
+
+def test_run_spec_distinct(loaded_stores):
+    spec = QuerySpec(
+        sources=("P",),
+        project=(("P", "age", "age"),),
+        distinct=True,
+    )
+    out = run_spec(spec, {"P": ColStoreAdapter(loaded_stores, "P")})
+    assert len(out) == 20  # all distinct here
+    spec2 = QuerySpec(sources=("P",), project=(), distinct=True)
+    out2 = run_spec(spec2, {"P": ColStoreAdapter(loaded_stores, "P")})
+    assert len(out2) == 1  # empty projection collapses
+
+
+def test_adapters_filtered_fetch_equivalence(tmp_path, loaded_stores):
+    """Native pushdown strategies must agree with the generic path."""
+    row = RowStore(tmp_path / "heaps2")
+    write_csv(tmp_path / "p2.csv", ["id", "age"], [(i, 20 + i) for i in range(20)])
+    load_csv_to_rowstore(row, "P", tmp_path / "p2.csv")
+    docs = DocStore()
+    docs.create_collection("P")
+    docs.insert_many("P", [{"id": i, "age": 20 + i} for i in range(20)])
+
+    filters = [Filter("age", ">=", 25), Filter("age", "<", 35)]
+    for adapter in (
+        ColStoreAdapter(loaded_stores, "P"),
+        RowStoreAdapter(row, "P"),
+        DocStoreAdapter(docs, "P"),
+    ):
+        native = sorted(r["id"] for r in adapter.fetch_filtered(["id", "age"], filters))
+        generic = sorted(
+            r["id"] for r in adapter.fetch(["id", "age"])
+            if all(f.matches(r) for f in filters)
+        )
+        assert native == generic == [5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
+
+
+# -- integration layer -----------------------------------------------------
+
+
+def test_integration_layer_mediates(loaded_stores, nested_json):
+    docs = DocStore()
+    load_json_to_docstore(docs, "N", nested_json)
+    mediator = IntegrationLayer()
+    mediator.register("P", ColStoreAdapter(loaded_stores, "P"), "colstore")
+    mediator.register("N", DocStoreAdapter(docs, "N"), "mongo")
+    spec = QuerySpec(
+        sources=("P", "N"),
+        filters={"N": (Filter("meta.v", "=", 1),)},
+        project=(("P", "id", "id"), ("N", "meta.v", "v")),
+        distinct=True,
+    )
+    out = mediator.query(spec)
+    assert sorted(r["id"] for r in out) == [1, 3, 5]
+    assert mediator.stats.records_converted > 0
+    assert mediator.systems() == {"P": "colstore", "N": "mongo"}
