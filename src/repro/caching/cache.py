@@ -17,7 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from .layouts import CachedData, materialize
+from .layouts import CachedData, materialize, materialize_columns
 from .policy import DEFAULT_POLICY, AdmissionPolicy
 
 
@@ -142,6 +142,26 @@ class DataCache:
         cached = materialize(layout, fields, rows)
         if layout == "columns":
             cached = self._merge_columns(source, cached)
+        return self._admit(source, cached, expected_reuse)
+
+    def put_columns(
+        self,
+        source: str,
+        fields: Sequence[str],
+        columns: Sequence[list],
+        expected_reuse: int = 1,
+    ) -> CacheEntry | None:
+        """Admit whole column batches gathered by a chunked scan.
+
+        The batch analogue of :meth:`put` for the columnar layout — no
+        per-row tuple round-trip; the column lists are adopted as-is.
+        """
+        cached = materialize_columns(fields, columns)
+        cached = self._merge_columns(source, cached)
+        return self._admit(source, cached, expected_reuse)
+
+    def _admit(self, source: str, cached: CachedData,
+               expected_reuse: int) -> CacheEntry | None:
         if not self.policy.admit(cached.nbytes, self.budget_bytes, expected_reuse):
             self.stats.rejections += 1
             return None
@@ -177,14 +197,7 @@ class DataCache:
     def put_cached(self, source: str, cached: CachedData,
                    expected_reuse: int = 1) -> CacheEntry | None:
         """Admit pre-materialised data (used by generated code)."""
-        if not self.policy.admit(cached.nbytes, self.budget_bytes, expected_reuse):
-            self.stats.rejections += 1
-            return None
-        entry = CacheEntry(source, cached, last_used=next(self._clock))
-        self._entries[entry.key] = entry
-        self.stats.admissions += 1
-        self._evict_to_budget(protected=entry.key)
-        return self._entries.get(entry.key)
+        return self._admit(source, cached, expected_reuse)
 
     def _evict_to_budget(self, protected: tuple | None = None) -> None:
         while self.used_bytes > self.budget_bytes and len(self._entries) > 1:

@@ -115,6 +115,32 @@ def _navigate(obj, path: str):
     return get_path(obj, path)
 
 
+def materialize_columns(fields: Sequence[str], columns: Sequence[list]) -> CachedData:
+    """Build a columnar :class:`CachedData` directly from column lists.
+
+    The batch scan path gathers whole columns during a chunked scan; admitting
+    them must not round-trip through per-row tuples (``zip(*columns)``).
+    Takes ownership of the lists — callers pass freshly-built ones.
+    """
+    fields = tuple(fields)
+    if len(fields) != len(columns):
+        raise ViDaError(
+            f"{len(columns)} columns for {len(fields)} fields in columnar admission"
+        )
+    count = len(columns[0]) if columns else 0
+    for f, col in zip(fields, columns):
+        if len(col) != count:
+            raise ViDaError(
+                f"ragged columnar admission: field {f!r} has {len(col)} rows, "
+                f"expected {count}"
+            )
+    cols = {f: col if isinstance(col, list) else list(col)
+            for f, col in zip(fields, columns)}
+    nbytes = sum(_deep_bytes(v) for col in cols.values() for v in col)
+    nbytes += sum(sys.getsizeof(col) for col in cols.values())
+    return CachedData("columns", fields, cols, nbytes, count)
+
+
 def materialize(
     layout: str,
     fields: Sequence[str],

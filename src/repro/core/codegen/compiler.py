@@ -5,13 +5,17 @@ fused, push-style (produce/consume, a la HyPer) function is generated *per
 query*, with
 
 - scan loops specialised to each source's format and chosen access path,
-- field extraction/conversion inlined for exactly the attributes the query
-  needs (projection pushdown into the raw parser),
+- *vectorized* scans: raw sources stream in as columnar chunks (tokenized
+  and converted batch-at-a-time by the runtime's column kernels), and the
+  generated loop binds locals straight off the column lists with C-level
+  ``zip`` iteration — converter and null-token dispatch is hoisted out of
+  the inner loop entirely,
 - predicates, join probes and accumulator updates inlined in the loop body —
   no operator boundaries, no per-tuple interpretation,
-- cache-population appends piggybacked on raw scans, and
-- "general-purpose checks stripped": e.g. null-token tests are emitted only
-  for nullable conversions, populate code only when the planner asked for it.
+- cache population piggybacked on raw scans as whole-column ``extend``s
+  (one call per chunk, not one append per row), and
+- "general-purpose checks stripped": populate code, whole-element binding
+  and predicate tests are emitted only when the planner asked for them.
 
 The generated module source is kept on the result object for inspection
 (``QueryResult.code``) — the moral equivalent of dumping the LLVM IR.
@@ -88,13 +92,14 @@ class QueryCompiler:
         self.w = CodeWriter(indent=1)
         self._counter = 0
         self._finalizers: list[str] = []  # emitted at function end (indent 1)
+        #: (monoid name, head expr) when the root fold fuses into chunk kernels
+        self._fold: tuple | None = None
 
         self._emit_reduce(plan)
 
         prelude = CodeWriter(indent=1)
         for helper_name in sorted(HELPERS):
             prelude.emit(f"{helper_name} = _H[{helper_name!r}]")
-        prelude.emit("_NULLS = _rt.null_tokens")
 
         parts: list[str] = []
         parts.extend(self.ctx.subqueries)
@@ -194,7 +199,16 @@ class QueryCompiler:
             else:
                 w.emit(f"_acc = _M.merge(_acc, _M.lift({head}))")
 
+        # When the root fold consumes a chunked scan directly, the whole
+        # reduce vectorizes: one comprehension kernel per chunk instead of a
+        # Python-level loop iteration per row (paper §4's "no per-tuple
+        # interpretation", batch edition).
+        if isinstance(node.child, PhysScan) and name in (
+            "count", "sum", "avg", "bag", "list", "max", "min"
+        ):
+            self._fold = (name, node.head)
         self._emit_node(node.child, consume)
+        self._fold = None
 
         for line in self._finalizers:
             w.emit(line)
@@ -281,150 +295,176 @@ class QueryCompiler:
         with self.w.block(f"for {local} in _rt.memory({node.source!r}):"):
             self._emit_pred_then(node.pred, consume)
 
+    def _emit_chunk_loop(self, ch: str, names: list[str], whole_local: str | None,
+                         pred, consume, cols_expr: str | None = None) -> None:
+        """Emit the per-chunk row loop binding extracted locals / elements.
+
+        ``names`` are the locals aligned with the chunk's leading columns;
+        ``whole_local`` binds the whole element from ``chunk.whole``. The
+        iteration itself is a C-level ``zip`` over column lists — the
+        vectorized replacement for one runtime call per row.
+        """
+        cols_expr = cols_expr or f"{ch}.columns"
+        if self._fold is not None:
+            self._emit_fold_kernel(ch, names, whole_local, pred, cols_expr)
+            return
+        if names and whole_local:
+            if len(names) == 1:
+                header = (f"for {names[0]}, {whole_local} in "
+                          f"zip({ch}.columns[0], {ch}.whole):")
+            else:
+                header = (f"for ({', '.join(names)}), {whole_local} in "
+                          f"zip(zip(*{cols_expr}), {ch}.whole):")
+        elif names:
+            if len(names) == 1:
+                header = f"for {names[0]} in {ch}.columns[0]:"
+            else:
+                header = f"for {', '.join(names)} in zip(*{cols_expr}):"
+        elif whole_local:
+            header = f"for {whole_local} in {ch}.whole:"
+        else:
+            header = f"for _ in range({ch}.length):"
+        with self.w.block(header):
+            self._emit_pred_then(pred, consume)
+
+    def _emit_fold_kernel(self, ch: str, names: list[str],
+                          whole_local: str | None, pred,
+                          cols_expr: str) -> None:
+        """Vectorized root fold: one comprehension per chunk.
+
+        Emitted instead of the row loop when the reduce sits directly on a
+        chunked scan; filter predicate and head evaluation run inside a
+        single list comprehension/`sum`/`max` per chunk.
+        """
+        w = self.w
+        name, head_expr = self._fold
+        if names and whole_local:
+            if len(names) == 1:
+                tgt = f"{names[0]}, {whole_local}"
+                it = f"zip({ch}.columns[0], {ch}.whole)"
+            else:
+                tgt = f"({', '.join(names)}), {whole_local}"
+                it = f"zip(zip(*{cols_expr}), {ch}.whole)"
+        elif names:
+            if len(names) == 1:
+                tgt = names[0]
+                it = f"{ch}.columns[0]"
+            else:
+                tgt = ", ".join(names)
+                it = f"zip(*{cols_expr})"
+        elif whole_local:
+            tgt = whole_local
+            it = f"{ch}.whole"
+        else:
+            tgt = "_"
+            it = f"range({ch}.length)"
+        cond = ""
+        if pred is not None and not (isinstance(pred, A.Const) and pred.value is True):
+            cond = f" if {compile_expr(pred, self.ctx)}"
+        if name == "count":
+            if cond:
+                w.emit(f"_acc += sum(1 for {tgt} in {it}{cond})")
+            else:
+                w.emit(f"_acc += {ch}.length")
+            return
+        head = compile_expr(head_expr, self.ctx)
+        comp = f"[{head} for {tgt} in {it}{cond}]"
+        if name in ("bag", "list"):
+            w.emit(f"_out.extend({comp})")
+            return
+        hs = self._next("hs")
+        if name == "sum":
+            w.emit(f"_acc += sum(_h for _h in {comp} if _h is not None)")
+        elif name == "avg":
+            w.emit(f"{hs} = [_h for _h in {comp} if _h is not None]")
+            w.emit(f"_sum += sum({hs})")
+            w.emit(f"_cnt += len({hs})")
+        elif name in ("max", "min"):
+            better = ">" if name == "max" else "<"
+            w.emit(f"{hs} = [_h for _h in {comp} if _h is not None]")
+            with w.block(f"if {hs}:"):
+                w.emit(f"_m = {name}({hs})")
+                with w.block(f"if _acc is None or _m {better} _acc:"):
+                    w.emit("_acc = _m")
+        else:  # pragma: no cover - guarded by the fusible-monoid list
+            raise CodegenError(f"no fold kernel for monoid {name!r}")
+
+    def _populate_extends(self, ch: str, node: PhysScan, chunk_fields: tuple,
+                          pop_lists: dict[str, str]) -> None:
+        """Populate lists take whole chunk columns (one extend per batch)."""
+        for f in node.populate:
+            if f == "*":
+                continue
+            try:
+                idx = chunk_fields.index(f)
+            except ValueError:
+                raise CodegenError(
+                    f"populate field {f!r} not extracted by scan of "
+                    f"{node.source!r} (has {chunk_fields})"
+                ) from None
+            self.w.emit(f"{pop_lists[f]}.extend({ch}.columns[{idx}])")
+
     def _emit_cache_scan(self, node: PhysScan, consume) -> None:
         w = self.w
         var = _sanitize(node.var)
-        cols_name = self._next("cols")
-        layout_name = self._next("lay")
-        w.emit(
-            f"{cols_name}, {layout_name} = _rt.cache_data("
-            f"{node.source!r}, {node.fields!r}, whole={node.bind_whole!r})"
-        )
+        ch = self._next("ch")
+        call = (f"_rt.cache_chunks({node.source!r}, {node.fields!r}, "
+                f"whole={node.bind_whole!r})")
         if node.bind_whole:
             local = f"_{var}_obj"
             self.ctx.bindings[node.var] = ObjectBinding(local)
-            with w.block(f"for {local} in {cols_name}:"):
-                self._emit_pred_then(node.pred, consume)
+            with w.block(f"for {ch} in {call}:"):
+                self._emit_chunk_loop(ch, [], local, node.pred, consume)
             return
-        locals_by_path = {
-            f: f"_{var}_{_sanitize(f)}" for f in node.fields
-        }
+        locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
         self.ctx.bindings[node.var] = ScalarBinding(locals_by_path)
         names = [locals_by_path[f] for f in node.fields]
-        if len(names) == 1:
-            header = f"for {names[0]} in {cols_name}[0]:"
-        else:
-            header = f"for {', '.join(names)} in zip(*{cols_name}):"
-        with w.block(header):
-            self._emit_pred_then(node.pred, consume)
+        with w.block(f"for {ch} in {call}:"):
+            self._emit_chunk_loop(ch, names, None, node.pred, consume)
+
+    def _emit_chunked_scan(self, node: PhysScan, call: str, names: list[str],
+                           whole_local: str | None, pop_lists: dict[str, str],
+                           chunk_fields: tuple, consume,
+                           whole_pop_local: str | None = None) -> None:
+        """Shared tail of every chunked scan emitter: the per-chunk loop
+        with populate extends, column-local binding and the row loop (or
+        fused fold kernel)."""
+        ch = self._next("ch")
+        cols_expr = f"{ch}.columns[:{len(names)}]" \
+            if len(chunk_fields) > len(names) else None
+        with self.w.block(f"for {ch} in {call}:"):
+            self._populate_extends(ch, node, chunk_fields, pop_lists)
+            if whole_pop_local:
+                self.w.emit(f"{whole_pop_local}.extend({ch}.whole)")
+            self._emit_chunk_loop(ch, names, whole_local, node.pred, consume,
+                                  cols_expr)
 
     def _emit_csv_scan(self, node: PhysScan, entry, consume) -> None:
-        w = self.w
-        plugin = entry.plugin
+        entry.plugin.field_indexes(list(node.fields))  # validate columns early
         var = _sanitize(node.var)
-        cols = plugin.field_indexes(list(node.fields))
-        delim = plugin.options.delimiter
-        cleaning = f"_rt.has_cleaning({node.source!r})"
-
-        pop_lists: dict[str, str] = {}
-        for f in node.populate:
-            lst = f"_pop_{var}_{_sanitize(f)}"
-            pop_lists[f] = lst
-            w.emit(f"{lst} = []")
-
+        pop_lists = self._emit_populate_prelude(node, var)
         locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
         binding = ScalarBinding(dict(locals_by_path))
         if node.bind_whole:
-            whole = f"_{var}_obj"
-            binding.whole_local = whole
+            binding.whole_local = f"_{var}_obj"
         self.ctx.bindings[node.var] = binding
-
-        conv_stmts: list[tuple[str, str]] = []  # (cell fetch stmt, convert stmt)
-        for f, col in zip(node.fields, cols):
-            tname = plugin.types[col]
-            target = locals_by_path[f]
-            if node.access == "cold":
-                fetch = f"_c = _cells[{col}]"
-            else:
-                fetch = f"_c = _pmf(_line, _row, {col})"
-            if tname == "int":
-                conv = f"{target} = None if _c in _NULLS else int(_c)"
-            elif tname == "float":
-                conv = f"{target} = None if _c in _NULLS else float(_c)"
-            elif tname == "bool":
-                conv = f"{target} = None if _c in _NULLS else _c in ('true', 'True', '1', 't')"
-            else:
-                conv = f"{target} = None if _c in _NULLS else _c"
-            conv_stmts.append((fetch, conv))
-
-        if node.access == "cold":
-            anchors = plugin.posmap.anchor_columns(cols)
-            iter_call = f"_rt.csv_lines_cold({node.source!r}, {tuple(anchors)!r})"
-        else:
-            w.emit(f"_pmf = _rt.posmap_field({node.source!r})")
-            iter_call = f"_rt.csv_lines_warm({node.source!r})"
-
-        clean_flag = self._next("cl")
-        validate_flag = self._next("vl")
-        if conv_stmts:
-            w.emit(f"{clean_flag} = {cleaning}")
-            w.emit(f"{validate_flag} = _rt.cleaning_validates({node.source!r})")
-        with w.block(f"for _row, _line in {iter_call}:"):
-            if node.access == "cold":
-                w.emit(f"_cells = _line.split({delim!r})")
-            if conv_stmts:
-                # validating policies (dictionary/range checks) see every row
-                with w.block(f"if {validate_flag}:"):
-                    if node.access == "warm":
-                        w.emit(f"_cells = _line.split({delim!r})")
-                    w.emit(
-                        f"_fix = _rt.clean_row({node.source!r}, _row, _cells, "
-                        f"{tuple(cols)!r})"
-                    )
-                    with w.block("if _fix is None:"):
-                        w.emit("continue")
-                    targets = ", ".join(locals_by_path[f] for f in node.fields)
-                    if len(node.fields) == 1:
-                        w.emit(f"{targets}, = _fix")
-                    else:
-                        w.emit(f"{targets} = _fix")
-                with w.block(f"elif {clean_flag}:"):
-                    with w.block("try:"):
-                        for fetch, conv in conv_stmts:
-                            w.emit(fetch)
-                            w.emit(conv)
-                    with w.block("except (ValueError, IndexError):"):
-                        if node.access == "warm":
-                            w.emit(f"_cells = _line.split({delim!r})")
-                        w.emit(
-                            f"_fix = _rt.clean_row({node.source!r}, _row, _cells, "
-                            f"{tuple(cols)!r})"
-                        )
-                        with w.block("if _fix is None:"):
-                            w.emit("continue")
-                        targets = ", ".join(locals_by_path[f] for f in node.fields)
-                        if len(node.fields) == 1:
-                            w.emit(f"{targets}, = _fix")
-                        else:
-                            w.emit(f"{targets} = _fix")
-                with w.block("else:"):
-                    for fetch, conv in conv_stmts:
-                        w.emit(fetch)
-                        w.emit(conv)
-            if node.bind_whole:
-                if node.access == "warm":
-                    w.emit(f"_cells = _line.split({delim!r})")
-                w.emit(
-                    f"{binding.whole_local} = _rt.csv_row_dict({node.source!r}, _cells)"
-                )
-            for f in node.populate:
-                w.emit(f"{pop_lists[f]}.append({locals_by_path[f]})")
-            self._emit_pred_then(node.pred, consume)
-        if node.populate:
-            lists = ", ".join(pop_lists[f] for f in node.populate)
-            trailing = "," if len(node.populate) == 1 else ""
-            self._finalizers.append(
-                f"_rt.admit_columns({node.source!r}, {tuple(node.populate)!r}, "
-                f"({lists}{trailing}))"
-            )
+        names = [locals_by_path[f] for f in node.fields]
+        chunk_fields = node.chunk_fields()
+        call = (f"_rt.csv_chunks({node.source!r}, {chunk_fields!r}, "
+                f"access={node.access!r}, batch_size={node.batch_size}, "
+                f"whole={node.bind_whole!r})")
+        self._emit_chunked_scan(node, call, names, binding.whole_local,
+                                pop_lists, chunk_fields, consume)
+        self._emit_populate_finalizer(node, pop_lists)
 
     def _emit_json_scan(self, node: PhysScan, consume) -> None:
         w = self.w
         var = _sanitize(node.var)
         local = f"_{var}_obj"
 
+        scalar_pop = tuple(f for f in node.populate if f != "*")
         pop_lists: dict[str, str] = {}
-        for f in node.populate:
+        for f in scalar_pop:
             lst = f"_pop_{var}_{_sanitize(f)}"
             pop_lists[f] = lst
             w.emit(f"{lst} = []")
@@ -434,32 +474,25 @@ class QueryCompiler:
         if populate_whole:
             w.emit(f"{populate_whole} = []")
 
-        if node.bind_whole or not node.fields:
+        bind_whole = node.bind_whole or not node.fields
+        if bind_whole:
             self.ctx.bindings[node.var] = ObjectBinding(local)
-            scalar_paths: dict[str, str] = {}
+            names: list[str] = []
+            whole_local = local
+            chunk_fields: tuple = scalar_pop
         else:
             scalar_paths = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
             self.ctx.bindings[node.var] = ScalarBinding(dict(scalar_paths))
+            names = [scalar_paths[f] for f in node.fields]
+            whole_local = None
+            chunk_fields = node.chunk_fields()
 
-        with w.block(f"for {local} in _rt.json_objects({node.source!r}):"):
-            for f, target in scalar_paths.items():
-                path = tuple(f.split("."))
-                if len(path) == 1:
-                    w.emit(f"{target} = {local}.get({path[0]!r})")
-                else:
-                    w.emit(f"{target} = _gp({local}, {path!r})")
-            for f in node.populate:
-                if f == "*":
-                    continue
-                src = scalar_paths.get(f)
-                if src is None:
-                    src = f"_gp({local}, {tuple(f.split('.'))!r})"
-                w.emit(f"{pop_lists[f]}.append({src})")
-            if populate_whole:
-                w.emit(f"{populate_whole}.append({local})")
-            self._emit_pred_then(node.pred, consume)
+        call = (f"_rt.json_chunks({node.source!r}, {chunk_fields!r}, "
+                f"batch_size={node.batch_size}, whole={bind_whole!r})")
+        self._emit_chunked_scan(node, call, names, whole_local, pop_lists,
+                                chunk_fields, consume,
+                                whole_pop_local=populate_whole)
 
-        scalar_pop = tuple(f for f in node.populate if f != "*")
         if scalar_pop:
             lists = ", ".join(pop_lists[f] for f in scalar_pop)
             trailing = "," if len(scalar_pop) == 1 else ""
@@ -473,14 +506,12 @@ class QueryCompiler:
             )
 
     def _emit_array_scan(self, node: PhysScan, entry, consume) -> None:
-        w = self.w
         plugin = entry.plugin
         var = _sanitize(node.var)
-        names = list(plugin.dim_names) + [n for n, _t in plugin.header.fields]
-        tup = f"_{var}_tup"
+        names_all = list(plugin.dim_names) + [n for n, _t in plugin.header.fields]
         locals_by_path = {}
         for f in node.fields:
-            if f not in names:
+            if f not in names_all:
                 raise CodegenError(
                     f"array source {node.source!r} has no component {f!r}"
                 )
@@ -490,40 +521,28 @@ class QueryCompiler:
             binding.whole_local = f"_{var}_obj"
         self.ctx.bindings[node.var] = binding
         pop_lists = self._emit_populate_prelude(node, var)
-        with w.block(f"for {tup} in _rt.array_scan({node.source!r}):"):
-            for f, target in locals_by_path.items():
-                w.emit(f"{target} = {tup}[{names.index(f)}]")
-            if node.bind_whole:
-                keys = ", ".join(f"{n!r}: {tup}[{i}]" for i, n in enumerate(names))
-                w.emit(f"{binding.whole_local} = {{{keys}}}")
-            for f in node.populate:
-                w.emit(f"{pop_lists[f]}.append({tup}[{names.index(f)}])")
-            self._emit_pred_then(node.pred, consume)
+        names = [locals_by_path[f] for f in node.fields]
+        chunk_fields = node.chunk_fields()
+        call = (f"_rt.array_chunks({node.source!r}, {chunk_fields!r}, "
+                f"batch_size={node.batch_size}, whole={node.bind_whole!r})")
+        self._emit_chunked_scan(node, call, names, binding.whole_local,
+                                pop_lists, chunk_fields, consume)
         self._emit_populate_finalizer(node, pop_lists)
 
     def _emit_xls_scan(self, node: PhysScan, entry, consume) -> None:
-        w = self.w
         var = _sanitize(node.var)
-        sheet = entry.description.options.get("sheet")
-        info = entry.plugin.sheets[sheet]
-        tup = f"_{var}_tup"
         locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
         binding = ScalarBinding(dict(locals_by_path))
         if node.bind_whole:
             binding.whole_local = f"_{var}_obj"
         self.ctx.bindings[node.var] = binding
-        fields = tuple(node.fields) if node.fields else tuple(info.columns)
-        var_name = var
-        pop_lists = self._emit_populate_prelude(node, var_name)
-        with w.block(f"for {tup} in _rt.xls_rows({node.source!r}, {fields!r}):"):
-            for i, f in enumerate(node.fields):
-                w.emit(f"{locals_by_path[f]} = {tup}[{i}]")
-            if node.bind_whole:
-                keys = ", ".join(f"{f!r}: {tup}[{i}]" for i, f in enumerate(fields))
-                w.emit(f"{binding.whole_local} = {{{keys}}}")
-            for f in node.populate:
-                w.emit(f"{pop_lists[f]}.append({tup}[{list(fields).index(f)}])")
-            self._emit_pred_then(node.pred, consume)
+        pop_lists = self._emit_populate_prelude(node, var)
+        names = [locals_by_path[f] for f in node.fields]
+        chunk_fields = node.chunk_fields()
+        call = (f"_rt.xls_chunks({node.source!r}, {chunk_fields!r}, "
+                f"batch_size={node.batch_size}, whole={node.bind_whole!r})")
+        self._emit_chunked_scan(node, call, names, binding.whole_local,
+                                pop_lists, chunk_fields, consume)
         self._emit_populate_finalizer(node, pop_lists)
 
     def _emit_populate_prelude(self, node: PhysScan, var: str) -> dict[str, str]:
@@ -574,17 +593,22 @@ class QueryCompiler:
                 out.extend(binding.locals_by_path[p] for p in sorted(binding.locals_by_path))
         return out
 
+    def _join_key(self, keys: tuple) -> str:
+        """Hash-table key expression: bare value for single-key joins (no
+        per-row tuple allocation), a tuple otherwise."""
+        if len(keys) == 1:
+            return compile_expr(keys[0], self.ctx)
+        return "(" + ", ".join(compile_expr(k, self.ctx) for k in keys) + ")"
+
     def _emit_hash_join(self, node: PhysHashJoin, consume) -> None:
         w = self.w
         ht = self._next("ht")
         w.emit(f"{ht} = {{}}")
 
         def build_consume():
-            keys = ", ".join(compile_expr(k, self.ctx) for k in node.build_keys)
-            trailing = "," if len(node.build_keys) == 1 else ""
             locals_list = self._binding_locals(node.build.bound_vars())
             row = ", ".join(locals_list) + ("," if len(locals_list) == 1 else "")
-            w.emit(f"_k = ({keys}{trailing})")
+            w.emit(f"_k = {self._join_key(node.build_keys)}")
             w.emit(f"_b = {ht}.get(_k)")
             with w.block("if _b is None:"):
                 w.emit(f"{ht}[_k] = [({row})]")
@@ -595,10 +619,8 @@ class QueryCompiler:
         build_locals = self._binding_locals(node.build.bound_vars())
 
         def probe_consume():
-            keys = ", ".join(compile_expr(k, self.ctx) for k in node.probe_keys)
-            trailing = "," if len(node.probe_keys) == 1 else ""
             matches = self._next("mt")
-            w.emit(f"{matches} = {ht}.get(({keys}{trailing}))")
+            w.emit(f"{matches} = {ht}.get({self._join_key(node.probe_keys)})")
             with w.block(f"if {matches} is not None:"):
                 row_var = self._next("r")
                 with w.block(f"for {row_var} in {matches}:"):

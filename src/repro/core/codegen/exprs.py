@@ -166,6 +166,13 @@ def _compile_proj(expr: A.Proj, ctx: ExprContext) -> str:
     return f"_gp({inner}, {path!r})"
 
 
+def _is_simple_operand(expr: A.Expr, compiled: str) -> bool:
+    """Cheap + pure: safe to mention more than once in generated code."""
+    if isinstance(expr, A.Const):
+        return True
+    return compiled.isidentifier()
+
+
 def _compile_binop(expr: A.BinOp, ctx: ExprContext) -> str:
     left = compile_expr(expr.left, ctx)
     right = compile_expr(expr.right, ctx)
@@ -175,6 +182,21 @@ def _compile_binop(expr: A.BinOp, ctx: ExprContext) -> str:
     if op == "!=":
         return f"({left} != {right})"
     if op in _GUARDED_CMP:
+        # Null-guarded ordering: when both operands are simple (a local or a
+        # literal) the guard inlines — no helper call per row in scan loops.
+        if isinstance(expr.left, A.Const) and expr.left.value is None:
+            return "False"
+        if isinstance(expr.right, A.Const) and expr.right.value is None:
+            return "False"
+        if _is_simple_operand(expr.left, left) and \
+                _is_simple_operand(expr.right, right):
+            guards = []
+            if not isinstance(expr.left, A.Const):
+                guards.append(f"{left} is not None")
+            if not isinstance(expr.right, A.Const):
+                guards.append(f"{right} is not None")
+            guards.append(f"{left} {op} {right}")
+            return "(" + " and ".join(guards) + ")"
         return f"{_GUARDED_CMP[op]}({left}, {right})"
     if op in _DIRECT_BINOPS:
         return f"({left} {_DIRECT_BINOPS[op]} {right})"

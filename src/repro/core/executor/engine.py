@@ -23,27 +23,32 @@ def plan_fingerprint(plan: PhysReduce) -> str:
 class JITStats:
     compilations: int = 0
     cache_hits: int = 0
+    evictions: int = 0
 
 
 class JITExecutor:
-    """Compiles plans to Python functions; caches compilations."""
+    """Compiles plans to Python functions; caches compilations (true LRU)."""
 
     def __init__(self, catalog, max_cached: int = 256):
         self.catalog = catalog
         self.max_cached = max_cached
+        # insertion-ordered dict used as an LRU: hits move to the end, so
+        # the front is always the least-recently-used entry
         self._compiled: dict[str, CompiledQuery] = {}
         self.stats = JITStats()
 
     def compile(self, plan: PhysReduce) -> CompiledQuery:
         key = plan_fingerprint(plan)
-        hit = self._compiled.get(key)
+        hit = self._compiled.pop(key, None)
         if hit is not None:
+            self._compiled[key] = hit  # move-to-end: hot keys survive eviction
             self.stats.cache_hits += 1
             return hit
         compiled = QueryCompiler(self.catalog).compile(plan)
         self.stats.compilations += 1
         if len(self._compiled) >= self.max_cached:
             self._compiled.pop(next(iter(self._compiled)))
+            self.stats.evictions += 1
         self._compiled[key] = compiled
         return compiled
 

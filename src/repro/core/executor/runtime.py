@@ -14,10 +14,9 @@ from dataclasses import dataclass, field
 
 from ...caching import DataCache
 from ...errors import ExecutionError
+from ...formats.descriptions import NULL_TOKENS
 from ...mcc.monoids import get_monoid
-
-#: the null tokens generated CSV conversion code tests against
-NULL_TOKENS = frozenset(["", "null", "NULL", "NA", "N/A", "\\N"])
+from ..chunk import DEFAULT_BATCH_SIZE, Chunk
 
 
 @dataclass
@@ -38,10 +37,30 @@ class ExecStats:
         return not self.raw_sources
 
 
+class _CountingPolicy:
+    """Wraps a cleaning policy so batch scans account repairs/skips.
+
+    The batch path hands the policy to the plugin's chunked scan, so the
+    per-query stats accounting wraps the policy rather than living in a
+    runtime callback.
+    """
+
+    def __init__(self, policy, stats: "ExecStats"):
+        self._policy = policy
+        self.stats = stats
+        self.validate_always = bool(getattr(policy, "validate_always", False))
+
+    def repair(self, plugin, row: int, cells: list, cols: list):
+        repaired = self._policy.repair(plugin, row, cells, list(cols))
+        if repaired is None:
+            self.stats.skipped_rows += 1
+        else:
+            self.stats.cleaned_rows += 1
+        return repaired
+
+
 class QueryRuntime:
     """Execution-time context handed to compiled/interpreted plans."""
-
-    null_tokens = NULL_TOKENS
 
     def __init__(
         self,
@@ -110,79 +129,121 @@ class QueryRuntime:
         return cols, cached.layout
 
     def admit_columns(self, source: str, fields: tuple, columns: tuple) -> None:
-        """Admit piggybacked columnar data gathered during a raw scan."""
-        rows = zip(*columns) if len(columns) > 1 else ((v,) for v in columns[0])
-        self.cache.put(source, "columns", fields, rows)
+        """Admit piggybacked columnar data gathered during a raw scan.
+
+        Whole column batches go straight into the cache — no per-row tuple
+        round-trip (the batch pipeline's population lists are adopted as-is).
+        """
+        self.cache.put_columns(source, fields, columns)
 
     def admit_elements(self, source: str, layout: str, elements: list) -> None:
         self.cache.put(source, layout, (), elements)
 
-    # -- CSV access paths -----------------------------------------------------------
+    # -- chunked scan protocol (shared by both engines) ------------------------
 
-    def csv_lines_cold(self, source: str, anchors: tuple):
-        """Cold scan: yield (row, line) while building the positional map."""
+    def cache_chunks(self, source: str, fields: tuple, whole: bool):
+        """Serve a cached scan as one zero-copy chunk view.
+
+        Columnar entries are wrapped without copying a value; row/object
+        layouts are columnarised once. Returns a list so callers iterate a
+        uniform chunk stream regardless of access path.
+        """
+        data, _layout = self.cache_data(source, fields, whole)
+        if whole:
+            return [Chunk((), (), len(data), whole=data)]
+        length = len(data[0]) if data else 0
+        return [Chunk(tuple(fields), tuple(data), length)]
+
+    def csv_chunks(
+        self,
+        source: str,
+        fields: tuple,
+        access: str = "cold",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        whole: bool = False,
+    ):
+        """Batched CSV scan: converted column chunks with piggybacked
+        positional-map population (cold) and batch-level cleaning."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
-        device = self.device_for(source)
-        anchor_list = list(anchors)
-        plugin.posmap.begin_population(anchor_list)
         self.stats.raw_sources.add(source)
         self.stats.raw_bytes += os.path.getsize(plugin.path)
-        from ...storage.io import RawFile
+        clean = self.cleaning.get(source)
+        if clean is not None and (fields or whole):
+            clean = _CountingPolicy(clean, self.stats)
+        else:
+            # a projection that touches no raw attribute cannot fail conversion
+            clean = None
+        count = 0
+        skipped_before = self.stats.skipped_rows
+        for chunk in plugin.scan_chunks(
+            fields, batch_size=batch_size, device=self.device_for(source),
+            clean=clean, whole=whole, access=access,
+        ):
+            count += chunk.length
+            yield chunk
+        # rows the cleaning policy dropped were still physically scanned
+        self.stats.raw_rows += count + (self.stats.skipped_rows - skipped_before)
 
-        encoding = plugin.options.encoding
-        record_row = plugin.posmap.record_row
-        with RawFile(plugin.path, device=device) as raw:
-            row = 0
-            for offset, line_bytes in raw.iter_lines():
-                if offset < plugin._data_start:
-                    continue
-                line = line_bytes.decode(encoding)
-                if not line:
-                    continue
-                record_row(offset, line, anchor_list)
-                yield row, line
-                row += 1
-        plugin.posmap.finish_population()
-        self.stats.raw_rows += row
-
-    def csv_lines_warm(self, source: str):
-        """Warm scan: yield (row, line); navigation uses the positional map."""
+    def json_chunks(
+        self,
+        source: str,
+        paths: tuple = (),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        whole: bool = False,
+    ):
+        """Batched JSON scan: dotted-path column chunks and/or whole objects."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
-        device = self.device_for(source)
         self.stats.raw_sources.add(source)
         self.stats.raw_bytes += os.path.getsize(plugin.path)
-        from ...storage.io import RawFile
+        count = 0
+        for chunk in plugin.scan_chunks(paths, batch_size=batch_size,
+                                        device=self.device_for(source),
+                                        whole=whole):
+            count += chunk.length
+            yield chunk
+        self.stats.raw_rows += count
 
-        encoding = plugin.options.encoding
-        with RawFile(plugin.path, device=device) as raw:
-            row = 0
-            for offset, line_bytes in raw.iter_lines():
-                if offset < plugin._data_start:
-                    continue
-                line = line_bytes.decode(encoding)
-                if not line:
-                    continue
-                yield row, line
-                row += 1
-        self.stats.raw_rows += row
+    def array_chunks(
+        self,
+        source: str,
+        fields: tuple = (),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        whole: bool = False,
+    ):
+        """Batched binary-array scan (fused-struct batch decode)."""
+        entry = self.catalog.get(source)
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
+        count = 0
+        for chunk in entry.plugin.scan_chunks(fields, batch_size=batch_size,
+                                              device=self.device_for(source),
+                                              whole=whole):
+            count += chunk.length
+            yield chunk
+        self.stats.raw_rows += count
 
-    def posmap_field(self, source: str):
-        plugin = self.catalog.get(source).plugin
-        return plugin.posmap.field_in_line
-
-    def csv_row_dict(self, source: str, cells: list) -> dict:
-        """Convert a full split row into a column-name → value dict."""
-        plugin = self.catalog.get(source).plugin
-        out = {}
-        for i, name in enumerate(plugin.columns):
-            text = cells[i] if i < len(cells) else ""
-            if text in NULL_TOKENS:
-                out[name] = None
-            else:
-                out[name] = plugin.converter(i)(text)
-        return out
+    def xls_chunks(
+        self,
+        source: str,
+        fields: tuple = (),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        whole: bool = False,
+    ):
+        """Batched workbook scan of the source's registered sheet."""
+        entry = self.catalog.get(source)
+        sheet = entry.description.options.get("sheet")
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
+        count = 0
+        for chunk in entry.plugin.scan_chunks(sheet, fields,
+                                              batch_size=batch_size,
+                                              device=self.device_for(source),
+                                              whole=whole):
+            count += chunk.length
+            yield chunk
+        self.stats.raw_rows += count
 
     # -- JSON -----------------------------------------------------------
 
@@ -294,29 +355,3 @@ class QueryRuntime:
             return
         raise ExecutionError(f"cannot iterate source of format {fmt!r}")
 
-    # -- cleaning -----------------------------------------------------------
-
-    def has_cleaning(self, source: str) -> bool:
-        return source in self.cleaning
-
-    def cleaning_validates(self, source: str) -> bool:
-        """True when the policy must see *every* row (dictionary validation)."""
-        policy = self.cleaning.get(source)
-        return bool(policy is not None and getattr(policy, "validate_always", False))
-
-    def clean_row(self, source: str, row: int, cells: list, cols: tuple):
-        """Delegate a conversion failure to the source's cleaning policy.
-
-        Returns repaired converted values (aligned with ``cols``) or None to
-        skip the row.
-        """
-        policy = self.cleaning.get(source)
-        if policy is None:
-            raise ExecutionError(f"no cleaning policy for {source!r}")
-        plugin = self.catalog.get(source).plugin
-        repaired = policy.repair(plugin, row, cells, list(cols))
-        if repaired is None:
-            self.stats.skipped_rows += 1
-        else:
-            self.stats.cleaned_rows += 1
-        return repaired

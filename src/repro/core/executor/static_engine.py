@@ -297,78 +297,73 @@ class StaticExecutor:
             return
         if node.access == "cache":
             if node.bind_whole or not node.fields:
-                data, _layout = rt.cache_data(node.source, (), whole=True)
-                for obj in data:
-                    yield from emit(obj)
+                for chunk in rt.cache_chunks(node.source, (), whole=True):
+                    for obj in chunk.whole:
+                        yield from emit(obj)
                 return
-            cols, _layout = rt.cache_data(node.source, node.fields, whole=False)
-            for values in zip(*cols) if len(cols) > 1 else ((v,) for v in cols[0]):
-                record = _record_from_paths(node.fields, values)
-                yield from emit(record)
+            for chunk in rt.cache_chunks(node.source, node.fields, whole=False):
+                for values in chunk.iter_rows():
+                    yield from emit(_record_from_paths(node.fields, values))
             return
         if fmt == "csv":
-            plugin = entry.plugin
-            populate: list[list] = [[] for _ in node.populate]
-            fields = None if node.bind_whole else list(node.fields)
-            names = plugin.columns if fields is None else fields
-            rt.stats.raw_sources.add(node.source)
-            import os
-
-            rt.stats.raw_bytes += os.path.getsize(plugin.path)
-            count = 0
-            for tup in plugin.scan(fields, device=rt.device_for(node.source),
-                                   clean=rt.cleaning.get(node.source)):
-                count += 1
-                record = dict(zip(names, tup))
-                if node.populate:
-                    for i, f in enumerate(node.populate):
-                        populate[i].append(record.get(f))
-                yield from emit(record)
-            rt.stats.raw_rows += count
+            scan_fields = node.chunk_fields()
+            populate: dict[str, list] = {f: [] for f in node.populate}
+            for chunk in rt.csv_chunks(node.source, scan_fields,
+                                       access=node.access,
+                                       batch_size=node.batch_size,
+                                       whole=node.bind_whole):
+                _extend_populate(populate, chunk, scan_fields)
+                if node.bind_whole:
+                    for record in chunk.whole:
+                        yield from emit(record)
+                else:
+                    for values in chunk.iter_rows():
+                        record = dict(zip(scan_fields, values))
+                        yield from emit(record)
             if node.populate:
-                rt.admit_columns(node.source, node.populate, tuple(populate))
+                rt.admit_columns(node.source, node.populate,
+                                 tuple(populate[f] for f in node.populate))
             return
         if fmt == "json":
-            populate = [[] for _ in node.populate]
+            scalar_pop = tuple(f for f in node.populate if f != "*")
+            populate = {f: [] for f in scalar_pop}
             whole_pop: list = []
-            count = 0
-            for obj in rt.json_objects(node.source):
-                count += 1
+            for chunk in rt.json_chunks(node.source, scalar_pop,
+                                        batch_size=node.batch_size, whole=True):
+                _extend_populate(populate, chunk, scalar_pop)
                 if node.populate == ("*",):
-                    whole_pop.append(obj)
-                else:
-                    for i, f in enumerate(node.populate):
-                        populate[i].append(get_path(obj, tuple(f.split("."))))
-                yield from emit(obj)
+                    whole_pop.extend(chunk.whole)
+                for obj in chunk.whole:
+                    yield from emit(obj)
             if node.populate == ("*",):
                 rt.admit_elements(node.source, node.populate_layout, whole_pop)
-            elif node.populate:
-                rt.admit_columns(node.source, node.populate, tuple(populate))
+            elif scalar_pop:
+                rt.admit_columns(node.source, scalar_pop,
+                                 tuple(populate[f] for f in scalar_pop))
             return
         if fmt == "array":
-            plugin = entry.plugin
-            names = list(plugin.dim_names) + [n for n, _t in plugin.header.fields]
-            populate = [[] for _ in node.populate]
-            for tup in rt.array_scan(node.source):
-                record = dict(zip(names, tup))
-                for i, f in enumerate(node.populate):
-                    populate[i].append(record.get(f))
-                yield from emit(record)
+            scan_fields = node.chunk_fields()
+            populate = {f: [] for f in node.populate}
+            for chunk in rt.array_chunks(node.source, scan_fields,
+                                         batch_size=node.batch_size, whole=True):
+                _extend_populate(populate, chunk, scan_fields)
+                for record in chunk.whole:
+                    yield from emit(record)
             if node.populate:
-                rt.admit_columns(node.source, node.populate, tuple(populate))
+                rt.admit_columns(node.source, node.populate,
+                                 tuple(populate[f] for f in node.populate))
             return
         if fmt == "xls":
-            sheet = entry.description.options.get("sheet")
-            columns = entry.plugin.sheets[sheet].columns
-            fields = tuple(node.fields) if node.fields and not node.bind_whole else tuple(columns)
-            populate = [[] for _ in node.populate]
-            for tup in rt.xls_rows(node.source, fields):
-                record = dict(zip(fields, tup))
-                for i, f in enumerate(node.populate):
-                    populate[i].append(record.get(f))
-                yield from emit(record)
+            scan_fields = node.chunk_fields()
+            populate = {f: [] for f in node.populate}
+            for chunk in rt.xls_chunks(node.source, scan_fields,
+                                       batch_size=node.batch_size, whole=True):
+                _extend_populate(populate, chunk, scan_fields)
+                for record in chunk.whole:
+                    yield from emit(record)
             if node.populate:
-                rt.admit_columns(node.source, node.populate, tuple(populate))
+                rt.admit_columns(node.source, node.populate,
+                                 tuple(populate[f] for f in node.populate))
             return
         if fmt == "dbms":
             from ...warehouse.docstore import DocStore
@@ -380,6 +375,14 @@ class StaticExecutor:
                 yield from emit(record)
             return
         raise ExecutionError(f"no interpreted scan for format {fmt!r}")
+
+
+def _extend_populate(populate: dict, chunk, chunk_fields: tuple) -> None:
+    """Accumulate cache-population columns, one whole-column extend per chunk."""
+    if not populate:
+        return
+    for f, acc in populate.items():
+        acc.extend(chunk.columns[chunk_fields.index(f)])
 
 
 def _record_from_paths(paths: tuple, values: tuple) -> dict:

@@ -40,6 +40,29 @@ COST_FACTORS = {
 SELECTIVITY = {"=": 0.1, "!=": 0.9, "<": 0.3, "<=": 0.3, ">": 0.3, ">=": 0.3,
                "like": 0.25, "in": 0.2}
 
+#: bounds for the vectorized scan pipeline's rows-per-chunk choice
+MIN_BATCH_SIZE = 64
+MAX_BATCH_SIZE = 4096
+#: soft cap on materialised values per chunk (rows × extracted fields)
+TARGET_CHUNK_VALUES = 32768
+
+
+def choose_batch_size(rows: int, nfields: int = 1) -> int:
+    """Pick a power-of-two rows-per-chunk for a scan.
+
+    Large enough to amortise per-batch dispatch, small enough that a chunk's
+    materialised values (``batch × fields``) stay cache-friendly: wide
+    extractions get shallower batches, and tiny sources don't plan a batch
+    far beyond their estimated row count.
+    """
+    ideal = max(1, TARGET_CHUNK_VALUES // max(1, nfields))
+    size = MIN_BATCH_SIZE
+    while size * 2 <= min(ideal, MAX_BATCH_SIZE):
+        size *= 2
+    while size > MIN_BATCH_SIZE and size >= 2 * max(1, rows):
+        size //= 2
+    return size
+
 
 def access_factor(fmt: str, access: str) -> float:
     """Normalized per-attribute fetch cost for a (format, access-path) pair."""

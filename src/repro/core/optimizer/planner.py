@@ -63,6 +63,7 @@ class PlanDecisions:
     access: dict[str, str] = field(default_factory=dict)       # var → access path
     join_order: list[str] = field(default_factory=list)         # vars, build→probe
     populate: dict[str, tuple] = field(default_factory=dict)    # var → cached fields
+    batch: dict[str, int] = field(default_factory=dict)         # var → rows per chunk
     cache_served: bool = False
     notes: list[str] = field(default_factory=list)
 
@@ -72,6 +73,9 @@ class PlanDecisions:
             f"access[{', '.join(parts)}] order[{' -> '.join(self.join_order)}]"
             + (" cache-served" if self.cache_served else "")
         )
+        if self.batch:
+            out += " batch[" + ", ".join(
+                f"{v}:{b}" for v, b in self.batch.items()) + "]"
         for note in self.notes:
             out += f"\n  note: {note}"
         return out
@@ -93,6 +97,7 @@ class _Unit:
     whole: bool = False
     populate: tuple = ()
     populate_layout: str = "columns"
+    batch_size: int = C.MAX_BATCH_SIZE
 
 
 class Planner:
@@ -103,12 +108,15 @@ class Planner:
         policy: AdmissionPolicy | None = None,
         enable_cache: bool = True,
         enable_posmap: bool = True,
+        batch_size: int | None = None,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
         self.policy = policy or DEFAULT_POLICY
         self.enable_cache = enable_cache
         self.enable_posmap = enable_posmap
+        #: fixed rows-per-chunk override (None = cost-model choice per scan)
+        self.batch_size = batch_size
 
     # -- public -----------------------------------------------------------
 
@@ -237,6 +245,11 @@ class Planner:
         if u.access in ("cold", "warm") and self.enable_cache:
             self._choose_population(u, entry)
 
+        if fmt in ("csv", "json", "array", "xls") and u.access in ("cold", "warm"):
+            u.batch_size = self.batch_size if self.batch_size is not None \
+                else C.choose_batch_size(rows, len(u.fields) or 1)
+            decisions.batch[u.var] = u.batch_size
+
         cost_fmt = "cache" if u.access == "cache" else (
             "memory" if u.access == "memory" else fmt
         )
@@ -327,7 +340,7 @@ class Planner:
                 source=u.node.source, var=u.var, format=entry.format,
                 fields=u.fields, access=u.access, bind_whole=u.whole,
                 populate=u.populate, populate_layout=u.populate_layout,
-                pred=pred, index_eq=index_eq,
+                pred=pred, index_eq=index_eq, batch_size=u.batch_size,
             )
         if u.kind == "expr":
             return PhysExprScan(u.node.expr, u.var, pred=pred)

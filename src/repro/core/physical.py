@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..mcc import ast as A
 from ..mcc.monoids import Monoid
+from .chunk import DEFAULT_BATCH_SIZE
 
 #: access-path choices for a scan (paper §5 wrapper decisions)
 ACCESS_COLD = "cold"        # tokenize everything, build auxiliary structures
@@ -117,6 +118,7 @@ class PhysScan(PhysNode):
         populate: dotted paths to admit into the data cache during this scan.
         populate_layout: layout for the admitted entry.
         pred: scan-local predicate (single-variable conjuncts pushed down).
+        batch_size: rows per chunk on the vectorized scan path (planner pick).
     """
 
     source: str
@@ -130,9 +132,20 @@ class PhysScan(PhysNode):
     pred: A.Expr | None = None
     #: equality pushed into a DBMS-source index lookup: (field, constant)
     index_eq: tuple | None = None
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def bound_vars(self):
         return (self.var,)
+
+    def chunk_fields(self) -> tuple:
+        """Columns a chunked scan must extract: bound fields + populate-only.
+
+        Both engines derive their chunk requests from this, so column
+        alignment between generated code and the interpreter cannot drift.
+        """
+        return tuple(self.fields) + tuple(
+            f for f in self.populate if f != "*" and f not in self.fields
+        )
 
 
 @dataclass
@@ -245,6 +258,10 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
     pad = "  " * indent
     if isinstance(node, PhysScan):
         extras = [f"access={node.access}"]
+        if node.access in (ACCESS_COLD, ACCESS_WARM) and node.format in (
+            "csv", "json", "array", "xls"
+        ):
+            extras.append(f"batch={node.batch_size}")
         if node.fields:
             extras.append(f"fields=[{', '.join(node.fields)}]")
         if node.bind_whole:

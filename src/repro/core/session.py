@@ -90,19 +90,30 @@ class ViDa:
         default_engine: str = "jit",
         enable_cache: bool = True,
         enable_posmap: bool = True,
+        batch_size: int | None = None,
     ):
         if default_engine not in ("jit", "static"):
             raise ViDaError(f"unknown engine {default_engine!r} (jit | static)")
+        if batch_size is not None and batch_size < 1:
+            raise ViDaError(f"batch_size must be >= 1, got {batch_size}")
         self.catalog = Catalog()
         self.cache = DataCache(cache_budget_bytes, admission_policy)
         self.default_engine = default_engine
         self.enable_cache = enable_cache
         self.enable_posmap = enable_posmap
+        #: fixed rows-per-chunk for vectorized scans (None = planner's choice)
+        self.batch_size = batch_size
         self.cleaning: dict[str, object] = {}
         self.devices: dict[str, object] = {}
         self._jit = JITExecutor(self.catalog)
         self._static = StaticExecutor(self.catalog)
         self.query_log: list[QueryStats] = []
+        # prepared-statement cache: query text → (parsed, normalized) AST.
+        # Both are pure functions of the text, so reuse is always safe;
+        # planning/typechecking still run per query (they see catalog and
+        # cache state). LRU-bounded alongside the JIT compile cache.
+        self._prepared: dict[str, tuple] = {}
+        self._max_prepared = 256
 
     # -- registration (delegates to the catalog) ------------------------------
 
@@ -143,28 +154,44 @@ class ViDa:
         text_or_expr,
         engine: str | None = None,
         output: str = "python",
+        limit: int | None = None,
     ) -> QueryResult:
         """Run a comprehension-syntax query (or a pre-built AST).
 
         ``engine`` overrides the session default ('jit' or 'static');
         ``output`` shapes collection results: python | records | tuples |
-        columns | json | bson.
+        columns | json | bson. ``limit`` truncates a collection result
+        *before* shaping, so every output shape honours it.
         """
         engine = engine or self.default_engine
         stats = QueryStats(engine=engine)
         t_start = time.perf_counter()
 
-        t0 = time.perf_counter()
-        expr = parse(text_or_expr) if isinstance(text_or_expr, str) else text_or_expr
-        stats.parse_ms = (time.perf_counter() - t0) * 1e3
+        prepared = self._prepared.pop(text_or_expr, None) \
+            if isinstance(text_or_expr, str) else None
+        if prepared is not None:
+            self._prepared[text_or_expr] = prepared  # LRU move-to-end
+            expr, norm = prepared
+            t0 = time.perf_counter()
+            typecheck(expr, self.catalog.type_env())
+            stats.typecheck_ms = (time.perf_counter() - t0) * 1e3
+        else:
+            t0 = time.perf_counter()
+            expr = parse(text_or_expr) if isinstance(text_or_expr, str) \
+                else text_or_expr
+            stats.parse_ms = (time.perf_counter() - t0) * 1e3
 
-        t0 = time.perf_counter()
-        typecheck(expr, self.catalog.type_env())
-        stats.typecheck_ms = (time.perf_counter() - t0) * 1e3
+            t0 = time.perf_counter()
+            typecheck(expr, self.catalog.type_env())
+            stats.typecheck_ms = (time.perf_counter() - t0) * 1e3
 
-        t0 = time.perf_counter()
-        norm = normalize(expr)
-        stats.normalize_ms = (time.perf_counter() - t0) * 1e3
+            t0 = time.perf_counter()
+            norm = normalize(expr)
+            stats.normalize_ms = (time.perf_counter() - t0) * 1e3
+            if isinstance(text_or_expr, str):
+                if len(self._prepared) >= self._max_prepared:
+                    self._prepared.pop(next(iter(self._prepared)))
+                self._prepared[text_or_expr] = (expr, norm)
 
         # freshness: in-place updates drop auxiliary structures + cache entries
         for src in referenced_sources(norm, self.catalog.names()):
@@ -182,12 +209,14 @@ class ViDa:
             stats.total_ms = (time.perf_counter() - t_start) * 1e3
             self._fill_exec_stats(stats, runtime)
             self.query_log.append(stats)
+            value = self._apply_limit(value, limit)
             return QueryResult(self._shape_output(value, output), stats)
 
         t0 = time.perf_counter()
         algebra = translate(norm, self.catalog.names())
         planner = Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
-                          enable_posmap=self.enable_posmap)
+                          enable_posmap=self.enable_posmap,
+                          batch_size=self.batch_size)
         plan, decisions = planner.plan(algebra)
         stats.plan_ms = (time.perf_counter() - t0) * 1e3
 
@@ -206,6 +235,7 @@ class ViDa:
         self._fill_exec_stats(stats, runtime)
         self.query_log.append(stats)
 
+        value = self._apply_limit(value, limit)
         return QueryResult(
             self._shape_output(value, output), stats, decisions,
             explain_physical(plan), code,
@@ -222,7 +252,8 @@ class ViDa:
             return f"InterpretedExpression[{pretty(norm)}]"
         algebra = translate(norm, self.catalog.names())
         planner = Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
-                          enable_posmap=self.enable_posmap)
+                          enable_posmap=self.enable_posmap,
+                          batch_size=self.batch_size)
         plan, decisions = planner.plan(algebra)
         return (
             "== logical ==\n" + explain_algebra(algebra)
@@ -240,15 +271,16 @@ class ViDa:
 
     def sql(self, statement: str, engine: str | None = None,
             output: str = "python") -> QueryResult:
-        """Run a SQL query by translation to the comprehension calculus."""
+        """Run a SQL query by translation to the comprehension calculus.
+
+        LIMIT is applied to the raw result rows *before* output shaping, so
+        columnar/JSON/BSON outputs honour it too.
+        """
         from ..languages.sql import parse_sql, translate_sql
 
         stmt = parse_sql(statement)
         expr = translate_sql(stmt, self.catalog)
-        result = self.query(expr, engine=engine, output=output)
-        if stmt.limit is not None and isinstance(result.value, list):
-            result.value = result.value[: stmt.limit]
-        return result
+        return self.query(expr, engine=engine, output=output, limit=stmt.limit)
 
     # -- internals -----------------------------------------------------------
 
@@ -260,6 +292,13 @@ class ViDa:
         stats.cache_only = es.cache_only
         stats.cleaned_rows = es.cleaned_rows
         stats.skipped_rows = es.skipped_rows
+
+    @staticmethod
+    def _apply_limit(value, limit: int | None):
+        """Truncate a collection result before shaping (SQL LIMIT)."""
+        if limit is not None and isinstance(value, list):
+            return value[:limit]
+        return value
 
     @staticmethod
     def _shape_output(value, output: str):

@@ -22,9 +22,8 @@ from typing import Callable, Iterator, Sequence
 from ...errors import DataFormatError
 from ...mcc import types as T
 from ...storage.io import RawFile
+from ..descriptions import NULL_TOKENS as _NULL_TOKENS
 from .positional_map import PositionalMap
-
-_NULL_TOKENS = frozenset(["", "null", "NULL", "NA", "N/A", "\\N"])
 
 
 @dataclass(frozen=True)
@@ -282,6 +281,235 @@ class CSVSource:
                         raise
                 yield values
                 row += 1
+
+    # -- batched access path (chunk pipeline) ----------------------------------
+
+    def iter_line_batches(
+        self, batch_size: int, device=None, record_anchors: list[int] | None = None
+    ) -> Iterator[tuple[int, list[str]]]:
+        """Yield ``(start_row, lines)`` batches of decoded data lines.
+
+        When ``record_anchors`` is given, positional-map population is
+        piggybacked on the pass (the caller brackets it with
+        ``posmap.begin_population``/``finish_population``).
+        """
+        encoding = self.options.encoding
+        record = self.posmap.record_row if record_anchors is not None else None
+        with RawFile(self.path, device=device) as raw:
+            row = 0
+            start = 0
+            batch: list[str] = []
+            for offset, line_bytes in raw.iter_lines():
+                if offset < self._data_start:
+                    continue
+                line = line_bytes.decode(encoding)
+                if not line:
+                    continue
+                if record is not None:
+                    record(offset, line, record_anchors)
+                batch.append(line)
+                row += 1
+                if len(batch) >= batch_size:
+                    yield start, batch
+                    start = row
+                    batch = []
+            if batch:
+                yield start, batch
+
+    def convert_batch(self, cols: list[int], cells_rows: list[list[str]]) -> list[list]:
+        """Convert split rows into per-column value lists (column kernels).
+
+        One tight list comprehension per requested column; raises
+        ``ValueError``/``IndexError`` on the first dirty value, at which
+        point callers with a cleaning policy fall back to row-at-a-time
+        conversion for the batch.
+        """
+        null_tokens = self.options.null_tokens
+        out: list[list] = []
+        for c in cols:
+            tname = self.types[c]
+            if tname == "string":
+                out.append([None if (v := r[c]) in null_tokens else v
+                            for r in cells_rows])
+            else:
+                conv = _CONVERTERS[tname]
+                out.append([None if (v := r[c]) in null_tokens else conv(v)
+                            for r in cells_rows])
+        return out
+
+    def convert_row(self, cols: list[int], cells: list[str]) -> tuple:
+        """Row-at-a-time conversion with descriptive errors (slow path)."""
+        return tuple(
+            self.converter(c)(cells[c] if c < len(cells) else "") for c in cols
+        )
+
+    def scan_chunks(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        device=None,
+        clean=None,
+        whole: bool = False,
+        access: str | None = None,
+    ):
+        """Batched scan: yield :class:`~repro.core.chunk.Chunk` objects.
+
+        The vectorized analogue of :meth:`scan`: rows are tokenized and
+        converted a batch at a time with per-column kernels, and positional
+        map population piggybacks on cold passes exactly as in the row path.
+        ``whole`` additionally materialises full row dicts (``chunk.whole``).
+        ``access`` forces ``"cold"``/``"warm"``; default picks by map state.
+        """
+        from ...core.chunk import Chunk
+
+        field_list = list(fields) if fields is not None else list(self.columns)
+        cols = self.field_indexes(field_list)
+        if access is None:
+            access = "warm" if self.posmap.complete else "cold"
+        all_cols = list(range(len(self.columns))) if whole else None
+        conv_cols = all_cols if whole else cols
+        record_anchors = None
+        if access == "cold":
+            record_anchors = self.posmap.anchor_columns(cols)
+            self.posmap.begin_population(record_anchors)
+        delim = self.options.delimiter
+        validate = clean is not None and getattr(clean, "validate_always", False)
+        # Warm narrow projections navigate with the positional map: one jump
+        # per requested field instead of tokenizing the whole (possibly very
+        # wide) line. Whole-row binding and cleaning need the full cell list.
+        navigate = (access == "warm" and self.posmap.complete and not whole
+                    and bool(cols) and clean is None)
+        for start, lines in self.iter_line_batches(batch_size, device=device,
+                                                   record_anchors=record_anchors):
+            if navigate:
+                yield Chunk.from_columns(
+                    field_list, self._navigate_batch(cols, lines, start))
+                continue
+            cells_rows = [line.split(delim) for line in lines]
+            columns, selection = self._convert_clean_batch(
+                conv_cols, cells_rows, start, clean, validate
+            )
+            if whole:
+                names = self.columns
+                whole_rows = [dict(zip(names, vals)) for vals in zip(*columns)] \
+                    if columns else [dict() for _ in range(len(cells_rows))]
+                picked = [columns[c] for c in cols]
+                chunk = Chunk.from_columns(field_list, picked, whole=whole_rows)
+            elif cols:
+                chunk = Chunk.from_columns(field_list, columns)
+            else:
+                # pure-count projection: no columns, but the row count matters
+                chunk = Chunk((), (), len(cells_rows))
+            if selection is not None:
+                # cleaning dropped rows: compact via the selection vector
+                chunk.selection = selection
+                chunk = chunk.compact()
+            yield chunk
+        if access == "cold":
+            self.posmap.finish_population()
+
+    def _navigate_batch(self, cols: list[int], lines: list[str],
+                        start_row: int) -> list[list]:
+        """Warm-path column kernels: positional-map jumps, then conversion.
+
+        Two comprehensions per column — one navigating to the raw field text
+        via the map's recorded offsets, one converting — instead of a full
+        ``split`` of every line.
+        """
+        pmf = self.posmap.field_in_line
+        null_tokens = self.options.null_tokens
+        out: list[list] = []
+        for c in cols:
+            raw = [pmf(line, start_row + i, c) for i, line in enumerate(lines)]
+            tname = self.types[c]
+            if tname == "string":
+                out.append([None if v in null_tokens else v for v in raw])
+            else:
+                conv = _CONVERTERS[tname]
+                out.append([None if v in null_tokens else conv(v) for v in raw])
+        return out
+
+    def _convert_clean_batch(
+        self, cols: list[int], cells_rows: list[list[str]], start_row: int,
+        clean, validate: bool,
+    ) -> tuple[list[list], list[int] | None]:
+        """Convert one batch, routing failures through the cleaning policy.
+
+        Mirrors the row path's contract: validating policies see every row;
+        otherwise the fast kernels run and only the *columns* of a dirty
+        batch degrade to per-value conversion — dirty rows are repaired in
+        place afterwards, so a few bad values don't tax the whole batch.
+
+        Returns ``(columns, selection)``: when the policy dropped rows the
+        columns keep their full batch length and ``selection`` lists the
+        surviving row indexes (the caller compacts the chunk); otherwise
+        ``selection`` is None.
+        """
+        if not cols:
+            return [], None
+        if clean is None:
+            try:
+                return self.convert_batch(cols, cells_rows), None
+            except (ValueError, IndexError):
+                # locate the offending row for a descriptive error
+                max_col = max(cols)
+                for i, cells in enumerate(cells_rows):
+                    if len(cells) <= max_col:
+                        raise DataFormatError(
+                            f"{self.path}: row {start_row + i} has "
+                            f"{len(cells)} cells but column "
+                            f"{self.columns[max_col]!r} was requested"
+                        ) from None
+                    self.convert_row(cols, cells)
+                raise  # pragma: no cover - the re-run above raises first
+        if validate:
+            rows_out: list[tuple] = []
+            for i, cells in enumerate(cells_rows):
+                values = clean.repair(self, start_row + i, cells, cols)
+                if values is not None:
+                    rows_out.append(values)
+            if not rows_out:
+                return [[] for _ in cols], None
+            return [list(col) for col in zip(*rows_out)], None
+        null_tokens = self.options.null_tokens
+        columns: list[list] = []
+        bad_rows: set[int] = set()
+        for c in cols:
+            try:
+                columns.append(self.convert_batch([c], cells_rows)[0])
+                continue
+            except (ValueError, IndexError):
+                pass
+            conv = _CONVERTERS[self.types[c]]
+            col_vals: list = []
+            for i, r in enumerate(cells_rows):
+                if c < len(r):
+                    v = r[c]
+                    if v in null_tokens:
+                        col_vals.append(None)
+                        continue
+                    try:
+                        col_vals.append(conv(v))
+                        continue
+                    except ValueError:
+                        pass
+                col_vals.append(None)
+                bad_rows.add(i)
+            columns.append(col_vals)
+        if not bad_rows:
+            return columns, None
+        dropped: set[int] = set()
+        for i in sorted(bad_rows):
+            values = clean.repair(self, start_row + i, cells_rows[i], cols)
+            if values is None:
+                dropped.add(i)
+            else:
+                for j in range(len(cols)):
+                    columns[j][i] = values[j]
+        if not dropped:
+            return columns, None
+        selection = [i for i in range(len(cells_rows)) if i not in dropped]
+        return columns, selection
 
     def fetch_row(self, row: int, fields: Sequence[str], device=None) -> tuple:
         """Positional access path: fetch one row's fields via the map."""

@@ -28,6 +28,10 @@ from dataclasses import dataclass, field
 from ..errors import ParseError
 from ..mcc import types as T
 
+#: the canonical null tokens raw-text conversion tests against, shared by
+#: the CSV plugin and the query runtime (one definition, imported everywhere)
+NULL_TOKENS = frozenset(["", "null", "NULL", "NA", "N/A", "\\N"])
+
 #: units of data an access path may return (paper §3.1 discussion)
 UNITS = ("element", "row", "column", "chunk", "object", "tuple", "page", "cell")
 

@@ -22,21 +22,26 @@ def make_rt(catalog, cache=None):
     return QueryRuntime(catalog, cache or DataCache())
 
 
-def test_csv_lines_cold_builds_posmap_and_stats(catalog):
+def test_csv_cold_chunks_build_posmap_and_stats(catalog):
     rt = make_rt(catalog)
-    lines = list(rt.csv_lines_cold("Patients", (0,)))
-    assert len(lines) == 60
+    chunks = list(rt.csv_chunks("Patients", ("id",), access="cold",
+                                batch_size=16))
+    assert sum(c.length for c in chunks) == 60
+    assert len(chunks) == 4  # 60 rows at batch_size 16
     assert rt.stats.raw_rows == 60
     assert "Patients" in rt.stats.raw_sources
     assert catalog.get("Patients").plugin.posmap.complete
     assert not rt.stats.cache_only
 
 
-def test_csv_row_dict_conversion(catalog):
+def test_csv_whole_chunk_row_conversion(catalog):
     rt = make_rt(catalog)
-    row = rt.csv_row_dict("Patients", ["3", "43", "f", "geneva", ""])
-    assert row == {"id": 3, "age": 43, "gender": "f", "city": "geneva",
+    (chunk, *_rest) = list(rt.csv_chunks("Patients", (), access="cold",
+                                         batch_size=64, whole=True))
+    row = chunk.whole[0]  # fixture row 0: protein is a null token
+    assert row == {"id": 0, "age": 20, "gender": "f", "city": "geneva",
                    "protein": None}
+    assert all(isinstance(r["id"], int) for r in chunk.whole)
 
 
 def test_cache_data_errors_without_entry(catalog):
@@ -83,12 +88,20 @@ def test_memory_source_not_memory_error(catalog):
         rt.memory("Patients")
 
 
-def test_clean_row_without_policy(catalog):
-    rt = make_rt(catalog)
-    with pytest.raises(ExecutionError):
-        rt.clean_row("Patients", 0, ["x"], (0,))
-    assert not rt.has_cleaning("Patients")
-    assert not rt.cleaning_validates("Patients")
+def test_csv_chunks_cleaning_stats(catalog, tmp_path):
+    from repro.cleaning import SkipPolicy
+    from repro.core.catalog import Catalog
+
+    path = tmp_path / "dirty.csv"
+    path.write_text("id,age\n1,30\n2,bad\n3,45\n")
+    cat = Catalog()
+    cat.register_csv("D", str(path), columns=["id", "age"],
+                     types=["int", "int"])
+    rt = QueryRuntime(cat, DataCache(), cleaning={"D": SkipPolicy()})
+    chunks = list(rt.csv_chunks("D", ("age",), access="cold"))
+    assert [v for c in chunks for v in c.columns[0]] == [30, 45]
+    assert rt.stats.skipped_rows == 1
+    assert rt.stats.raw_rows == 3  # the dropped row was still scanned
 
 
 def test_monoid_lookup(catalog):
@@ -110,5 +123,5 @@ def test_device_routing(catalog):
 
     dev = StorageDevice("hdd")
     rt = QueryRuntime(catalog, DataCache(), devices={"*": dev})
-    list(rt.csv_lines_cold("Patients", ()))
+    list(rt.csv_chunks("Patients", ("id",), access="cold"))
     assert dev.stats.bytes_read > 0
