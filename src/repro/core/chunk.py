@@ -116,6 +116,57 @@ class Chunk:
         return self.length
 
 
+@dataclass(frozen=True)
+class Morsel:
+    """One independently scannable range of a source (parallel scan unit).
+
+    ``kind`` tells the plugin how to interpret ``lo``/``hi``:
+
+    - ``"all"``      — the whole source (unsplittable fallback; a single
+      worker runs the full scan),
+    - ``"bytes"``    — a raw byte range ``[lo, hi)``; the reader aligns
+      itself to record boundaries (CSV cold scans),
+    - ``"rows"``     — a row-index range ``[lo, hi)`` (CSV warm scans via
+      the positional map, cache row-range chunk views),
+    - ``"spans"``    — a semi-index span range ``[lo, hi)`` (JSON),
+    - ``"elements"`` — a linear element range ``[lo, hi)`` (binary arrays).
+
+    ``start_row`` carries the global index of the first record when the
+    split kind knows it (row/span/element ranges); byte splits leave it
+    None and downstream row numbering is morsel-local.
+    """
+
+    kind: str
+    lo: int = 0
+    hi: int = 0
+    start_row: int | None = None
+
+
+#: the degenerate single-morsel plan for unsplittable sources
+MORSEL_ALL = Morsel("all")
+
+
+def split_ranges(count: int, parts: int, kind: str,
+                 row_aligned: bool = True) -> list[Morsel]:
+    """Tile ``[0, count)`` into at most ``parts`` contiguous morsels.
+
+    Ranges differ in size by at most one; empty ranges are never emitted.
+    ``row_aligned`` kinds record the global start index on each morsel.
+    """
+    if parts <= 1 or count <= 1:
+        return [Morsel(kind, 0, count, start_row=0 if row_aligned else None)]
+    parts = min(parts, count)
+    base, extra = divmod(count, parts)
+    morsels: list[Morsel] = []
+    lo = 0
+    for i in range(parts):
+        hi = lo + base + (1 if i < extra else 0)
+        morsels.append(Morsel(kind, lo, hi,
+                              start_row=lo if row_aligned else None))
+        lo = hi
+    return morsels
+
+
 def chunked(items: Iterable, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[list]:
     """Greedily batch any iterable into lists of ``batch_size`` items."""
     if batch_size <= 0:

@@ -39,6 +39,7 @@ from ..physical import (
     PhysReduce,
     PhysScan,
     PhysUnnest,
+    parallel_driver,
 )
 from .exprs import Binding, ExprContext, ObjectBinding, ScalarBinding, compile_expr
 from .helpers import HELPERS
@@ -81,6 +82,123 @@ def _sanitize(name: str) -> str:
     return "".join(ch if ch.isalnum() else "_" for ch in name)
 
 
+# ---------------------------------------------------------------------------
+# Morsel-parallel regions
+# ---------------------------------------------------------------------------
+#
+# When the planner marks a scan ``parallel=N`` the generated code wraps that
+# scan's chunk loop in a *morsel worker*: a nested function whose first
+# statements re-initialise every accumulator it writes (the assignments make
+# them worker-locals — the worker is reentrant, sharing only read-only state
+# like hash tables and helper bindings through its closure). The coordinator
+# asks the runtime for splits, fans the worker out over the scheduler, and
+# merges the returned partials *in morsel order*, so parallel results are
+# bit-identical to the serial loop.
+
+
+class _FoldRegion:
+    """Root-reduce parallel region: workers fold partial accumulators; the
+    coordinator merges them through the output monoid's merge."""
+
+    def __init__(self, monoid_name: str, generic: bool):
+        self.name = monoid_name if not generic else None
+
+    def result_vars(self) -> list[str]:
+        if self.name == "avg":
+            return ["_sum", "_cnt"]
+        if self.name in ("bag", "list", "set"):
+            return ["_out"]
+        return ["_acc"]
+
+    def emit_init(self, w: CodeWriter) -> None:
+        _emit_fold_init(w, self.name)
+
+    def emit_outer_init(self, w: CodeWriter) -> None:
+        _emit_fold_init(w, self.name)
+
+    def emit_merge(self, w: CodeWriter, part: str) -> None:
+        name = self.name
+        if name in ("sum", "count"):
+            w.emit(f"_acc += {part}[0]")
+        elif name == "prod":
+            w.emit(f"_acc *= {part}[0]")
+        elif name in ("max", "min"):
+            op = ">" if name == "max" else "<"
+            w.emit(f"_h = {part}[0]")
+            with w.block(f"if _h is not None and (_acc is None or _h {op} _acc):"):
+                w.emit("_acc = _h")
+        elif name == "avg":
+            w.emit(f"_sum += {part}[0]")
+            w.emit(f"_cnt += {part}[1]")
+        elif name == "any":
+            w.emit(f"_acc = _acc or {part}[0]")
+        elif name == "all":
+            w.emit(f"_acc = _acc and {part}[0]")
+        elif name in ("bag", "list"):
+            w.emit(f"_out.extend({part}[0])")
+        elif name == "set":
+            # re-dedup across ordered partials: first occurrence wins, same
+            # as the serial scan order
+            with w.block(f"for _h in {part}[0]:"):
+                w.emit("_k = _hashable(_h)")
+                with w.block("if _k not in _seen:"):
+                    w.emit("_seen.add(_k)")
+                    w.emit("_out.append(_h)")
+        else:
+            w.emit(f"_acc = _M.merge(_acc, {part}[0])")
+
+
+class _BuildRegion:
+    """Hash-join build parallel region: workers build partial tables over
+    their morsels; the coordinator merges them per key, extending row lists
+    in morsel order (identical to serial insertion order)."""
+
+    def __init__(self, ht: str):
+        self.ht = ht
+
+    def result_vars(self) -> list[str]:
+        return [self.ht]
+
+    def emit_init(self, w: CodeWriter) -> None:
+        w.emit(f"{self.ht} = {{}}")
+
+    def emit_outer_init(self, w: CodeWriter) -> None:
+        pass  # the outer table was initialised before the worker definition
+
+    def emit_merge(self, w: CodeWriter, part: str) -> None:
+        with w.block(f"for _k, _rows in {part}[0].items():"):
+            w.emit(f"_b = {self.ht}.get(_k)")
+            with w.block("if _b is None:"):
+                w.emit(f"{self.ht}[_k] = _rows")
+            with w.block("else:"):
+                w.emit("_b.extend(_rows)")
+
+
+def _emit_fold_init(w: CodeWriter, name: str | None) -> None:
+    """Accumulator initialisation for the root fold (shared by the serial
+    path, the morsel workers, and the coordinator's merge prologue)."""
+    if name in ("sum", "count"):
+        w.emit("_acc = 0")
+    elif name == "prod":
+        w.emit("_acc = 1")
+    elif name in ("max", "min"):
+        w.emit("_acc = None")
+    elif name == "avg":
+        w.emit("_sum = 0.0")
+        w.emit("_cnt = 0")
+    elif name == "any":
+        w.emit("_acc = False")
+    elif name == "all":
+        w.emit("_acc = True")
+    elif name in ("bag", "list"):
+        w.emit("_out = []")
+    elif name == "set":
+        w.emit("_out = []")
+        w.emit("_seen = set()")
+    else:  # generic monoid fold; ``_M`` is bound by the reduce emitter
+        w.emit("_acc = _M.zero()")
+
+
 class QueryCompiler:
     """Compiles one physical plan into a Python function ``fn(runtime)``."""
 
@@ -94,6 +212,8 @@ class QueryCompiler:
         self._finalizers: list[str] = []  # emitted at function end (indent 1)
         #: (monoid name, head expr) when the root fold fuses into chunk kernels
         self._fold: tuple | None = None
+        #: id(PhysScan) → parallel region for morsel-sharded scans
+        self._par_regions: dict[int, object] = {}
 
         self._emit_reduce(plan)
 
@@ -137,27 +257,23 @@ class QueryCompiler:
         mono = node.monoid
         name = mono.name
 
-        if name in ("sum", "count"):
-            w.emit("_acc = 0")
-        elif name == "prod":
-            w.emit("_acc = 1")
-        elif name in ("max", "min"):
-            w.emit("_acc = None")
-        elif name == "avg":
-            w.emit("_sum = 0.0")
-            w.emit("_cnt = 0")
-        elif name == "any":
-            w.emit("_acc = False")
-        elif name == "all":
-            w.emit("_acc = True")
-        elif name in ("bag", "list"):
-            w.emit("_out = []")
-        elif name == "set":
-            w.emit("_out = []")
-            w.emit("_seen = set()")
-        else:  # median, topk, orderby, ... — generic monoid fold
+        specialized = name in (
+            "sum", "count", "prod", "max", "min", "avg", "any", "all",
+            "bag", "list", "set",
+        )
+        fold_name = name if specialized else None
+        if not specialized:
+            # generic monoid object: bound once at the coordinator level so
+            # morsel workers share it read-only through their closure
             w.emit(f"_M = _rt.monoid({mono.name!r}, {mono.params!r})")
-            w.emit("_acc = _M.zero()")
+
+        driver = parallel_driver(node)
+        if driver is not None and driver.parallel > 1:
+            # accumulator init moves into the morsel worker; the merge
+            # prologue re-initialises the coordinator's copy
+            self._par_regions[id(driver)] = _FoldRegion(name, not specialized)
+        else:
+            _emit_fold_init(w, fold_name)
 
         def consume() -> None:
             head = compile_expr(node.head, self.ctx)
@@ -272,22 +388,38 @@ class QueryCompiler:
             raise CodegenError(f"no scan emitter for format {fmt!r}")
 
     def _emit_dbms_scan(self, node: PhysScan, consume) -> None:
-        """Scan a DBMS source; the runtime applies the index lookup when the
-        planner pushed one down."""
+        """Scan a DBMS source over the chunk protocol; index lookups (pushed
+        down by the planner) stay row-at-a-time."""
         from ...warehouse.docstore import DocStore
 
         entry = self.catalog.get(node.source)
-        local = f"_{_sanitize(node.var)}_obj"
-        self.ctx.bindings[node.var] = ObjectBinding(local)
+        var = _sanitize(node.var)
         # Document stores return nested records; keep them whole so path
         # navigation works. Tabular stores take the projection pushdown.
-        fields: tuple = ()
-        if not node.bind_whole and not isinstance(entry.plugin.store, DocStore):
-            fields = node.fields
-        call = (f"_rt.dbms_rows({node.source!r}, {fields!r}, "
-                f"{node.index_eq!r})")
-        with self.w.block(f"for {local} in {call}:"):
-            self._emit_pred_then(node.pred, consume)
+        whole = node.bind_whole or isinstance(entry.plugin.store, DocStore)
+        fields: tuple = () if whole else node.fields
+        if node.index_eq is not None:
+            local = f"_{var}_obj"
+            self.ctx.bindings[node.var] = ObjectBinding(local)
+            call = (f"_rt.dbms_rows({node.source!r}, {fields!r}, "
+                    f"{node.index_eq!r})")
+            with self.w.block(f"for {local} in {call}:"):
+                self._emit_pred_then(node.pred, consume)
+            return
+        call = (f"_rt.dbms_chunks({node.source!r}, {fields!r}, "
+                f"batch_size={node.batch_size}, whole={whole!r})")
+        ch = self._next("ch")
+        if whole or not fields:
+            local = f"_{var}_obj"
+            self.ctx.bindings[node.var] = ObjectBinding(local)
+            with self.w.block(f"for {ch} in {call}:"):
+                self._emit_chunk_loop(ch, [], local, node.pred, consume)
+            return
+        locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in fields}
+        self.ctx.bindings[node.var] = ScalarBinding(locals_by_path)
+        names = [locals_by_path[f] for f in fields]
+        with self.w.block(f"for {ch} in {call}:"):
+            self._emit_chunk_loop(ch, names, None, node.pred, consume)
 
     def _emit_memory_scan(self, node: PhysScan, consume) -> None:
         local = f"_{_sanitize(node.var)}_obj"
@@ -407,20 +539,26 @@ class QueryCompiler:
     def _emit_cache_scan(self, node: PhysScan, consume) -> None:
         w = self.w
         var = _sanitize(node.var)
-        ch = self._next("ch")
         call = (f"_rt.cache_chunks({node.source!r}, {node.fields!r}, "
                 f"whole={node.bind_whole!r})")
         if node.bind_whole:
             local = f"_{var}_obj"
             self.ctx.bindings[node.var] = ObjectBinding(local)
-            with w.block(f"for {ch} in {call}:"):
-                self._emit_chunk_loop(ch, [], local, node.pred, consume)
+            names: list[str] = []
+            whole_local: str | None = local
+        else:
+            locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
+            self.ctx.bindings[node.var] = ScalarBinding(locals_by_path)
+            names = [locals_by_path[f] for f in node.fields]
+            whole_local = None
+        region = self._par_regions.get(id(node))
+        if region is not None:
+            self._emit_parallel_scan(region, node, call, names, whole_local,
+                                     {}, tuple(node.fields), consume)
             return
-        locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
-        self.ctx.bindings[node.var] = ScalarBinding(locals_by_path)
-        names = [locals_by_path[f] for f in node.fields]
+        ch = self._next("ch")
         with w.block(f"for {ch} in {call}:"):
-            self._emit_chunk_loop(ch, names, None, node.pred, consume)
+            self._emit_chunk_loop(ch, names, whole_local, node.pred, consume)
 
     def _emit_chunked_scan(self, node: PhysScan, call: str, names: list[str],
                            whole_local: str | None, pop_lists: dict[str, str],
@@ -428,7 +566,14 @@ class QueryCompiler:
                            whole_pop_local: str | None = None) -> None:
         """Shared tail of every chunked scan emitter: the per-chunk loop
         with populate extends, column-local binding and the row loop (or
-        fused fold kernel)."""
+        fused fold kernel). Morsel-sharded scans wrap the loop in a worker
+        function instead."""
+        region = self._par_regions.get(id(node))
+        if region is not None:
+            self._emit_parallel_scan(region, node, call, names, whole_local,
+                                     pop_lists, chunk_fields, consume,
+                                     whole_pop_local)
+            return
         ch = self._next("ch")
         cols_expr = f"{ch}.columns[:{len(names)}]" \
             if len(chunk_fields) > len(names) else None
@@ -438,6 +583,62 @@ class QueryCompiler:
                 self.w.emit(f"{whole_pop_local}.extend({ch}.whole)")
             self._emit_chunk_loop(ch, names, whole_local, node.pred, consume,
                                   cols_expr)
+
+    def _emit_parallel_scan(self, region, node: PhysScan, call: str,
+                            names: list[str], whole_local: str | None,
+                            pop_lists: dict[str, str], chunk_fields: tuple,
+                            consume, whole_pop_local: str | None = None) -> None:
+        """Morsel-sharded scan: worker def + split fan-out + ordered merge.
+
+        The worker re-initialises every accumulator it writes (making them
+        worker-locals — it shares only read-only state through its closure)
+        and runs the identical chunk loop over its morsel. The coordinator
+        charges file-level stats once, runs the scheduler, and merges
+        partial accumulators and cache-population columns in morsel order.
+        """
+        w = self.w
+        assert call.endswith(")")
+        call = call[:-1] + ", split=_split)"
+        pop_vars = list(pop_lists.values())
+        if whole_pop_local:
+            pop_vars.append(whole_pop_local)
+        ret_vars = list(region.result_vars())
+        worker = self._next("mw")
+        with w.block(f"def {worker}(_split):"):
+            region.emit_init(w)
+            for lst in pop_vars:
+                w.emit(f"{lst} = []")
+            ch = self._next("ch")
+            cols_expr = f"{ch}.columns[:{len(names)}]" \
+                if len(chunk_fields) > len(names) else None
+            with w.block(f"for {ch} in {call}:"):
+                self._populate_extends(ch, node, chunk_fields, pop_lists)
+                if whole_pop_local:
+                    w.emit(f"{whole_pop_local}.extend({ch}.whole)")
+                self._emit_chunk_loop(ch, names, whole_local, node.pred,
+                                      consume, cols_expr)
+            returns = ret_vars + pop_vars
+            trailing = "," if len(returns) == 1 else ""
+            w.emit(f"return ({', '.join(returns)}{trailing})")
+        if node.access != "cache":
+            w.emit(f"_rt.account_raw({node.source!r})")
+        splits = self._next("sp")
+        w.emit(
+            f"{splits} = _rt.scan_splits({node.source!r}, {node.parallel}, "
+            f"access={node.access!r}, fields={node.fields!r}, "
+            f"whole={node.bind_whole!r})"
+        )
+        parts = self._next("pt")
+        w.emit(f"{parts} = _rt.run_morsels({worker}, {splits}, {node.parallel})")
+        region.emit_outer_init(w)
+        part = self._next("p")
+        with w.block(f"for {part} in {parts}:"):
+            region.emit_merge(w, part)
+            for i, lst in enumerate(pop_vars):
+                w.emit(f"{lst}.extend({part}[{len(ret_vars) + i}])")
+        if node.access != "cache":
+            # merge sharded auxiliary-structure partials (positional maps)
+            w.emit(f"_rt.finish_scan({node.source!r}, {splits})")
 
     def _emit_csv_scan(self, node: PhysScan, entry, consume) -> None:
         entry.plugin.field_indexes(list(node.fields))  # validate columns early
@@ -604,6 +805,10 @@ class QueryCompiler:
         w = self.w
         ht = self._next("ht")
         w.emit(f"{ht} = {{}}")
+        if isinstance(node.build, PhysScan) and node.build.parallel > 1:
+            # morsel-sharded build: workers fill partial tables over their
+            # morsels, merged per key in morsel order by the coordinator
+            self._par_regions[id(node.build)] = _BuildRegion(ht)
 
         def build_consume():
             locals_list = self._binding_locals(node.build.bound_vars())

@@ -10,13 +10,15 @@ served, raw bytes touched) that the benchmarks report.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from ...caching import DataCache
 from ...errors import ExecutionError
 from ...formats.descriptions import NULL_TOKENS
 from ...mcc.monoids import get_monoid
-from ..chunk import DEFAULT_BATCH_SIZE, Chunk
+from ..chunk import DEFAULT_BATCH_SIZE, MORSEL_ALL, Chunk, split_ranges
+from .scheduler import MorselScheduler
 
 
 @dataclass
@@ -42,15 +44,23 @@ class _CountingPolicy:
 
     The batch path hands the policy to the plugin's chunked scan, so the
     per-query stats accounting wraps the policy rather than living in a
-    runtime callback.
+    runtime callback. ``lock`` serialises repairs when morsel workers share
+    the underlying (possibly stateful) policy object.
     """
 
-    def __init__(self, policy, stats: "ExecStats"):
+    def __init__(self, policy, stats: "ExecStats", lock=None):
         self._policy = policy
+        self._lock = lock
         self.stats = stats
         self.validate_always = bool(getattr(policy, "validate_always", False))
 
     def repair(self, plugin, row: int, cells: list, cols: list):
+        if self._lock is not None:
+            with self._lock:
+                return self._repair(plugin, row, cells, cols)
+        return self._repair(plugin, row, cells, cols)
+
+    def _repair(self, plugin, row: int, cells: list, cols: list):
         repaired = self._policy.repair(plugin, row, cells, list(cols))
         if repaired is None:
             self.stats.skipped_rows += 1
@@ -74,6 +84,15 @@ class QueryRuntime:
         self.cleaning = cleaning or {}
         self.devices = devices or {}
         self.stats = ExecStats()
+        # morsel-parallel scans: stats flushes, cleaning-policy calls and
+        # cache admissions from worker threads serialise on this lock
+        self._lock = threading.Lock()
+        # one cache lookup per (source, fields, whole) per query, shared by
+        # every morsel worker slicing row-range chunk views off it
+        self._cache_scan_memo: dict[tuple, tuple] = {}
+        # per-morsel positional-map partials awaiting the coordinator's
+        # ordered merge (source → {Morsel: PositionalMap})
+        self._posmap_parts: dict[str, dict] = {}
 
     # -- generic -----------------------------------------------------------
 
@@ -82,6 +101,61 @@ class QueryRuntime:
 
     def device_for(self, source: str):
         return self.devices.get(source) or self.devices.get("*")
+
+    # -- morsel-parallel scan protocol ------------------------------------------
+
+    def run_morsels(self, kernel, morsels: list, dop: int) -> list:
+        """Fan per-morsel kernels out over the scheduler; partials return in
+        morsel order so callers merge deterministically."""
+        return MorselScheduler(dop).map(kernel, morsels)
+
+    def account_raw(self, source: str) -> None:
+        """File-level raw accounting for a parallel scan, charged once by
+        the coordinator (split scans skip it so workers don't multiply it)."""
+        entry = self.catalog.get(source)
+        with self._lock:
+            self.stats.raw_sources.add(source)
+            self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
+
+    def scan_splits(self, source: str, dop: int, access: str = "cold",
+                    fields: tuple = (), whole: bool = False) -> list:
+        """Morsels for a parallel scan of ``source`` (at most ``dop``).
+
+        Cache scans split into row ranges over the (single, memoised)
+        lookup; raw formats delegate to the plugin's splittable-range
+        contract; anything else degrades to the single-morsel plan.
+        """
+        if access == "cache":
+            data, _layout = self._cache_scan_once(source, tuple(fields), whole)
+            count = len(data) if whole else (len(data[0]) if data else 0)
+            return split_ranges(count, dop, "rows")
+        plugin = self.catalog.get(source).plugin
+        splits = getattr(plugin, "scan_splits", None)
+        if splits is None:
+            return [MORSEL_ALL]
+        return splits(dop)
+
+    def finish_scan(self, source: str, splits: list) -> None:
+        """Coordinator epilogue of a parallel scan: merge auxiliary-structure
+        partials (positional maps) in morsel order. No-op for sources whose
+        morsels recorded nothing."""
+        parts = self._posmap_parts.pop(source, None)
+        if not parts:
+            return
+        byte_splits = [s for s in splits if s.kind == "bytes"]
+        if not byte_splits or any(s not in parts for s in byte_splits):
+            return  # a morsel didn't finish; discard rather than adopt holes
+        plugin = self.catalog.get(source).plugin
+        plugin.adopt_posmap_partials([parts[s] for s in byte_splits])
+
+    def _cache_scan_once(self, source: str, fields: tuple, whole: bool):
+        key = (source, fields, bool(whole))
+        with self._lock:
+            hit = self._cache_scan_memo.get(key)
+            if hit is None:
+                hit = self.cache_data(source, fields, whole)
+                self._cache_scan_memo[key] = hit
+        return hit
 
     # -- memory sources -----------------------------------------------------------
 
@@ -141,14 +215,29 @@ class QueryRuntime:
 
     # -- chunked scan protocol (shared by both engines) ------------------------
 
-    def cache_chunks(self, source: str, fields: tuple, whole: bool):
+    def cache_chunks(self, source: str, fields: tuple, whole: bool,
+                     split=None):
         """Serve a cached scan as one zero-copy chunk view.
 
         Columnar entries are wrapped without copying a value; row/object
         layouts are columnarised once. Returns a list so callers iterate a
-        uniform chunk stream regardless of access path.
+        uniform chunk stream regardless of access path. ``split`` serves a
+        row-range chunk view of the (memoised, shared) lookup instead —
+        morsel workers each slice their rows off one cache entry.
         """
-        data, _layout = self.cache_data(source, fields, whole)
+        if split is None:
+            data, _layout = self.cache_data(source, fields, whole)
+        else:
+            data, _layout = self._cache_scan_once(source, tuple(fields), whole)
+            if split.kind == "rows":
+                if whole:
+                    data = data[split.lo:split.hi]
+                else:
+                    data = [col[split.lo:split.hi] for col in data]
+            elif split.kind != "all":
+                raise ExecutionError(
+                    f"cache scans cannot interpret a {split.kind!r} morsel"
+                )
         if whole:
             return [Chunk((), (), len(data), whole=data)]
         length = len(data[0]) if data else 0
@@ -161,29 +250,58 @@ class QueryRuntime:
         access: str = "cold",
         batch_size: int = DEFAULT_BATCH_SIZE,
         whole: bool = False,
+        split=None,
     ):
         """Batched CSV scan: converted column chunks with piggybacked
-        positional-map population (cold) and batch-level cleaning."""
+        positional-map population (cold) and batch-level cleaning.
+
+        With ``split`` the scan covers one morsel: file-level accounting is
+        the coordinator's job (:meth:`account_raw`), row/cleaning counters
+        accumulate locally and flush under the runtime lock once."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
-        self.stats.raw_sources.add(source)
-        self.stats.raw_bytes += os.path.getsize(plugin.path)
         clean = self.cleaning.get(source)
-        if clean is not None and (fields or whole):
-            clean = _CountingPolicy(clean, self.stats)
-        else:
+        if clean is None or not (fields or whole):
             # a projection that touches no raw attribute cannot fail conversion
             clean = None
+        if split is None:
+            self.stats.raw_sources.add(source)
+            self.stats.raw_bytes += os.path.getsize(plugin.path)
+            if clean is not None:
+                clean = _CountingPolicy(clean, self.stats)
+            count = 0
+            skipped_before = self.stats.skipped_rows
+            for chunk in plugin.scan_chunks(
+                fields, batch_size=batch_size, device=self.device_for(source),
+                clean=clean, whole=whole, access=access,
+            ):
+                count += chunk.length
+                yield chunk
+            # rows the cleaning policy dropped were still physically scanned
+            self.stats.raw_rows += count + (self.stats.skipped_rows - skipped_before)
+            return
+        local = ExecStats()
+        if clean is not None:
+            clean = _CountingPolicy(clean, local, lock=self._lock)
+        partial = None
+        if split.kind == "bytes" and access == "cold":
+            # sharded positional-map population piggybacks on the morsel;
+            # finish_scan merges the partials in morsel order
+            partial = plugin.new_posmap_partial()
         count = 0
-        skipped_before = self.stats.skipped_rows
         for chunk in plugin.scan_chunks(
             fields, batch_size=batch_size, device=self.device_for(source),
-            clean=clean, whole=whole, access=access,
+            clean=clean, whole=whole, access=access, split=split,
+            posmap_partial=partial,
         ):
             count += chunk.length
             yield chunk
-        # rows the cleaning policy dropped were still physically scanned
-        self.stats.raw_rows += count + (self.stats.skipped_rows - skipped_before)
+        with self._lock:
+            self.stats.raw_rows += count + local.skipped_rows
+            self.stats.cleaned_rows += local.cleaned_rows
+            self.stats.skipped_rows += local.skipped_rows
+            if partial is not None:
+                self._posmap_parts.setdefault(source, {})[split] = partial
 
     def json_chunks(
         self,
@@ -191,19 +309,25 @@ class QueryRuntime:
         paths: tuple = (),
         batch_size: int = DEFAULT_BATCH_SIZE,
         whole: bool = False,
+        split=None,
     ):
         """Batched JSON scan: dotted-path column chunks and/or whole objects."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
-        self.stats.raw_sources.add(source)
-        self.stats.raw_bytes += os.path.getsize(plugin.path)
+        if split is None:
+            self.stats.raw_sources.add(source)
+            self.stats.raw_bytes += os.path.getsize(plugin.path)
         count = 0
         for chunk in plugin.scan_chunks(paths, batch_size=batch_size,
                                         device=self.device_for(source),
-                                        whole=whole):
+                                        whole=whole, split=split):
             count += chunk.length
             yield chunk
-        self.stats.raw_rows += count
+        if split is None:
+            self.stats.raw_rows += count
+        else:
+            with self._lock:
+                self.stats.raw_rows += count
 
     def array_chunks(
         self,
@@ -211,18 +335,24 @@ class QueryRuntime:
         fields: tuple = (),
         batch_size: int = DEFAULT_BATCH_SIZE,
         whole: bool = False,
+        split=None,
     ):
         """Batched binary-array scan (fused-struct batch decode)."""
         entry = self.catalog.get(source)
-        self.stats.raw_sources.add(source)
-        self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
+        if split is None:
+            self.stats.raw_sources.add(source)
+            self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
         count = 0
         for chunk in entry.plugin.scan_chunks(fields, batch_size=batch_size,
                                               device=self.device_for(source),
-                                              whole=whole):
+                                              whole=whole, split=split):
             count += chunk.length
             yield chunk
-        self.stats.raw_rows += count
+        if split is None:
+            self.stats.raw_rows += count
+        else:
+            with self._lock:
+                self.stats.raw_rows += count
 
     def xls_chunks(
         self,
@@ -292,6 +422,23 @@ class QueryRuntime:
         self.stats.raw_rows += count
 
     # -- DBMS sources -----------------------------------------------------------
+
+    def dbms_chunks(
+        self,
+        source: str,
+        fields: tuple = (),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        whole: bool = False,
+    ):
+        """Batched scan of a registered DBMS source (full scans only; index
+        lookups stay row-at-a-time via :meth:`dbms_rows`)."""
+        plugin = self.catalog.get(source).plugin
+        count = 0
+        for chunk in plugin.scan_chunks(fields or None, batch_size=batch_size,
+                                        whole=whole):
+            count += chunk.length
+            yield chunk
+        self.stats.cache_rows += count
 
     def dbms_rows(self, source: str, fields: tuple, index_eq: tuple | None):
         """Scan a registered DBMS source; uses the store index when the

@@ -1,0 +1,59 @@
+"""Morsel-driven parallel scan scheduling.
+
+The chunk protocol made the columnar batch the unit of data movement; this
+module makes a *range of batches* — a **morsel** — the unit of scale-out
+(Leis et al., "Morsel-Driven Parallelism", adapted to ViDa's raw-file scans).
+Format plugins expose splittable scan ranges (CSV byte/row ranges, JSON span
+ranges, array element ranges, cache row ranges); the planner picks a
+degree of parallelism per driver scan; and :class:`MorselScheduler` fans the
+per-morsel kernels out over a thread pool.
+
+Correctness contract: every morsel kernel folds into a *worker-local*
+accumulator, and partial results are merged **in morsel order** through the
+query's monoid (associative merge), so parallel answers are bit-identical
+to the serial fold — including ordered outputs (``bag``/``list``), ``set``
+first-occurrence dedup, and per-key hash-join build order.
+
+Failure contract: the first morsel exception fails the whole query. Pending
+morsels are cancelled; already-running workers finish (their results are
+discarded) so shutdown never hangs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+from ..chunk import MORSEL_ALL, Morsel, split_ranges  # noqa: F401 (re-export)
+
+
+class MorselScheduler:
+    """Runs per-morsel kernels on a bounded thread pool, in morsel order.
+
+    ``map`` returns partial results aligned with the input morsels so the
+    caller can merge them deterministically. With ``dop <= 1`` (or a single
+    morsel) kernels run inline on the calling thread — the serial fallback
+    shares the exact code path the workers run, which keeps parallel and
+    serial execution differential-testable.
+    """
+
+    def __init__(self, dop: int):
+        if dop < 1:
+            raise ValueError(f"degree of parallelism must be >= 1, got {dop}")
+        self.dop = dop
+
+    def map(self, kernel, morsels: list[Morsel]) -> list:
+        if self.dop <= 1 or len(morsels) <= 1:
+            return [kernel(m) for m in morsels]
+        workers = min(self.dop, len(morsels))
+        with ThreadPoolExecutor(max_workers=workers,
+                                thread_name_prefix="vida-morsel") as pool:
+            futures = [pool.submit(kernel, m) for m in morsels]
+            try:
+                return [f.result() for f in futures]
+            except BaseException:
+                # fail fast: drop queued morsels; running ones drain on
+                # pool shutdown (no result is consumed), then re-raise the
+                # first failure in morsel order.
+                for f in futures:
+                    f.cancel()
+                raise

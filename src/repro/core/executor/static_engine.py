@@ -212,6 +212,11 @@ class StaticExecutor:
         self.catalog = catalog
 
     def execute(self, plan: PhysReduce, rt):
+        from ..physical import parallel_driver
+
+        driver = parallel_driver(plan)
+        if driver is not None and driver.parallel > 1:
+            return self._execute_parallel(plan, rt, driver)
         m = plan.monoid
         acc = m.zero()
         skip_null = m.name in _NUMERIC_SKIP_NULL
@@ -225,11 +230,97 @@ class StaticExecutor:
                 acc = m.merge(acc, m.lift(head))
         return m.finalize(acc)
 
+    def _execute_parallel(self, plan: PhysReduce, rt, driver: PhysScan):
+        """Morsel-driven fold: the driver scan shards; workers fold into
+        their own monoid accumulators; partials merge in morsel order.
+
+        Hash-table builds and nested-loop inner materialisations along the
+        driver chain run *once*, up front, and are shared read-only by every
+        worker. Cache-population columns accumulate per worker and are
+        admitted once after the ordered merge, exactly like a serial scan.
+        """
+        m = plan.monoid
+        skip_null = m.name in _NUMERIC_SKIP_NULL
+        shared: dict[int, object] = {}
+        self._prebuild_chain(plan.child, rt, shared)
+        if driver.access != "cache" and driver.format in ("csv", "json", "array"):
+            rt.account_raw(driver.source)
+        # mirror _scan's cache request shape exactly so the split probe and
+        # the workers' cache_chunks calls share one memoised lookup
+        if driver.bind_whole or not driver.fields:
+            req_fields, req_whole = (), True
+        else:
+            req_fields, req_whole = driver.fields, False
+        splits = rt.scan_splits(driver.source, driver.parallel,
+                                access=driver.access, fields=req_fields,
+                                whole=req_whole)
+
+        def worker(split):
+            acc = m.zero()
+            pop: dict = {"columns": {}, "whole": []}
+            for env in self._iter(plan.child, rt, split=split, shared=shared,
+                                  pop=pop):
+                head = eval_expr(plan.head, env, rt)
+                if skip_null and head is None:
+                    continue
+                if m.name == "count":
+                    acc = m.merge(acc, 1)
+                else:
+                    acc = m.merge(acc, m.lift(head))
+            return acc, pop
+
+        partials = rt.run_morsels(worker, splits, driver.parallel)
+        if driver.access != "cache":
+            rt.finish_scan(driver.source, splits)
+        acc = m.zero()
+        merged: dict[str, list] = {}
+        merged_whole: list = []
+        for pacc, pop in partials:
+            acc = m.merge(acc, pacc)
+            for f, col in pop["columns"].items():
+                merged.setdefault(f, []).extend(col)
+            merged_whole.extend(pop["whole"])
+        if driver.populate == ("*",):
+            rt.admit_elements(driver.source, driver.populate_layout, merged_whole)
+        else:
+            scalar_pop = tuple(f for f in driver.populate if f != "*")
+            if scalar_pop and merged:
+                rt.admit_columns(driver.source, scalar_pop,
+                                 tuple(merged[f] for f in scalar_pop))
+        return m.finalize(acc)
+
+    def _prebuild_chain(self, node: PhysNode, rt, shared: dict) -> None:
+        """Materialise join state along the driver chain, once, serially."""
+        while True:
+            if isinstance(node, (PhysFilter, PhysUnnest)):
+                node = node.child
+            elif isinstance(node, PhysHashJoin):
+                table: dict = {}
+                for env in self._iter(node.build, rt):
+                    key = tuple(hashable(eval_expr(k, env, rt))
+                                for k in node.build_keys)
+                    table.setdefault(key, []).append(env)
+                shared[id(node)] = table
+                node = node.probe
+            elif isinstance(node, PhysNLJoin):
+                shared[id(node)] = list(self._iter(node.inner, rt))
+                node = node.outer
+            else:
+                return
+
     # -- operators ------------------------------------------------------------
 
-    def _iter(self, node: PhysNode, rt) -> Iterator[Env]:
+    def _iter(self, node: PhysNode, rt, split=None, shared=None,
+              pop=None) -> Iterator[Env]:
+        """Pull-iterate one plan node.
+
+        ``split``/``shared``/``pop`` carry the morsel-parallel context down
+        the driver chain only: the split restricts the driver scan, shared
+        join state replaces per-call builds, and ``pop`` collects the driver
+        scan's cache-population columns for the coordinator to admit.
+        """
         if isinstance(node, PhysScan):
-            yield from self._scan(node, rt)
+            yield from self._scan(node, rt, split=split, pop=pop)
         elif isinstance(node, PhysExprScan):
             items = eval_expr(node.expr, {}, rt) or ()
             for item in items:
@@ -237,29 +328,34 @@ class StaticExecutor:
                 if node.pred is None or eval_expr(node.pred, env, rt):
                     yield env
         elif isinstance(node, PhysFilter):
-            for env in self._iter(node.child, rt):
+            for env in self._iter(node.child, rt, split, shared, pop):
                 if eval_expr(node.pred, env, rt):
                     yield env
         elif isinstance(node, PhysHashJoin):
-            table: dict = {}
-            for env in self._iter(node.build, rt):
-                key = tuple(hashable(eval_expr(k, env, rt)) for k in node.build_keys)
-                table.setdefault(key, []).append(env)
-            for env in self._iter(node.probe, rt):
+            table = shared.get(id(node)) if shared is not None else None
+            if table is None:
+                table = {}
+                for env in self._iter(node.build, rt):
+                    key = tuple(hashable(eval_expr(k, env, rt)) for k in node.build_keys)
+                    table.setdefault(key, []).append(env)
+            for env in self._iter(node.probe, rt, split, shared, pop):
                 key = tuple(hashable(eval_expr(k, env, rt)) for k in node.probe_keys)
                 for build_env in table.get(key, ()):
                     joined = {**build_env, **env}
                     if node.residual is None or eval_expr(node.residual, joined, rt):
                         yield joined
         elif isinstance(node, PhysNLJoin):
-            inner_rows = list(self._iter(node.inner, rt))
-            for outer_env in self._iter(node.outer, rt):
+            if shared is not None and id(node) in shared:
+                inner_rows = shared[id(node)]
+            else:
+                inner_rows = list(self._iter(node.inner, rt))
+            for outer_env in self._iter(node.outer, rt, split, shared, pop):
                 for inner_env in inner_rows:
                     joined = {**outer_env, **inner_env}
                     if node.pred is None or eval_expr(node.pred, joined, rt):
                         yield joined
         elif isinstance(node, PhysUnnest):
-            for env in self._iter(node.child, rt):
+            for env in self._iter(node.child, rt, split, shared, pop):
                 items = eval_expr(node.path, env, rt) or ()
                 for item in items:
                     child_env = {**env, node.var: item}
@@ -282,7 +378,7 @@ class StaticExecutor:
         else:
             raise ExecutionError(f"cannot interpret {type(node).__name__}")
 
-    def _scan(self, node: PhysScan, rt) -> Iterator[Env]:
+    def _scan(self, node: PhysScan, rt, split=None, pop=None) -> Iterator[Env]:
         entry = self.catalog.get(node.source)
         fmt = entry.format
 
@@ -291,17 +387,36 @@ class StaticExecutor:
             if node.pred is None or eval_expr(node.pred, env, rt):
                 yield env
 
+        def flush_populate(populate: dict, whole_pop: list | None = None) -> None:
+            # morsel workers hand their population share to the coordinator
+            # (ordered merge + single admission); serial scans admit directly
+            if pop is not None:
+                for f, col in populate.items():
+                    pop["columns"].setdefault(f, []).extend(col)
+                if whole_pop:
+                    pop["whole"].extend(whole_pop)
+                return
+            if node.populate == ("*",):
+                rt.admit_elements(node.source, node.populate_layout,
+                                  whole_pop or [])
+            elif populate:
+                fields = tuple(populate)
+                rt.admit_columns(node.source, fields,
+                                 tuple(populate[f] for f in fields))
+
         if node.access == "memory" or entry.data is not None:
             for item in rt.memory(node.source):
                 yield from emit(item)
             return
         if node.access == "cache":
             if node.bind_whole or not node.fields:
-                for chunk in rt.cache_chunks(node.source, (), whole=True):
+                for chunk in rt.cache_chunks(node.source, (), whole=True,
+                                             split=split):
                     for obj in chunk.whole:
                         yield from emit(obj)
                 return
-            for chunk in rt.cache_chunks(node.source, node.fields, whole=False):
+            for chunk in rt.cache_chunks(node.source, node.fields, whole=False,
+                                         split=split):
                 for values in chunk.iter_rows():
                     yield from emit(_record_from_paths(node.fields, values))
             return
@@ -311,7 +426,7 @@ class StaticExecutor:
             for chunk in rt.csv_chunks(node.source, scan_fields,
                                        access=node.access,
                                        batch_size=node.batch_size,
-                                       whole=node.bind_whole):
+                                       whole=node.bind_whole, split=split):
                 _extend_populate(populate, chunk, scan_fields)
                 if node.bind_whole:
                     for record in chunk.whole:
@@ -321,37 +436,34 @@ class StaticExecutor:
                         record = dict(zip(scan_fields, values))
                         yield from emit(record)
             if node.populate:
-                rt.admit_columns(node.source, node.populate,
-                                 tuple(populate[f] for f in node.populate))
+                flush_populate(populate)
             return
         if fmt == "json":
             scalar_pop = tuple(f for f in node.populate if f != "*")
             populate = {f: [] for f in scalar_pop}
             whole_pop: list = []
             for chunk in rt.json_chunks(node.source, scalar_pop,
-                                        batch_size=node.batch_size, whole=True):
+                                        batch_size=node.batch_size, whole=True,
+                                        split=split):
                 _extend_populate(populate, chunk, scalar_pop)
                 if node.populate == ("*",):
                     whole_pop.extend(chunk.whole)
                 for obj in chunk.whole:
                     yield from emit(obj)
-            if node.populate == ("*",):
-                rt.admit_elements(node.source, node.populate_layout, whole_pop)
-            elif scalar_pop:
-                rt.admit_columns(node.source, scalar_pop,
-                                 tuple(populate[f] for f in scalar_pop))
+            if node.populate:
+                flush_populate(populate, whole_pop)
             return
         if fmt == "array":
             scan_fields = node.chunk_fields()
             populate = {f: [] for f in node.populate}
             for chunk in rt.array_chunks(node.source, scan_fields,
-                                         batch_size=node.batch_size, whole=True):
+                                         batch_size=node.batch_size, whole=True,
+                                         split=split):
                 _extend_populate(populate, chunk, scan_fields)
                 for record in chunk.whole:
                     yield from emit(record)
             if node.populate:
-                rt.admit_columns(node.source, node.populate,
-                                 tuple(populate[f] for f in node.populate))
+                flush_populate(populate)
             return
         if fmt == "xls":
             scan_fields = node.chunk_fields()
@@ -362,17 +474,25 @@ class StaticExecutor:
                 for record in chunk.whole:
                     yield from emit(record)
             if node.populate:
-                rt.admit_columns(node.source, node.populate,
-                                 tuple(populate[f] for f in node.populate))
+                flush_populate(populate)
             return
         if fmt == "dbms":
             from ...warehouse.docstore import DocStore
 
-            fields: tuple = ()
-            if not node.bind_whole and not isinstance(entry.plugin.store, DocStore):
-                fields = tuple(node.fields)
-            for record in rt.dbms_rows(node.source, fields, node.index_eq):
-                yield from emit(record)
+            whole = node.bind_whole or isinstance(entry.plugin.store, DocStore)
+            fields: tuple = () if whole else tuple(node.fields)
+            if node.index_eq is not None:
+                for record in rt.dbms_rows(node.source, fields, node.index_eq):
+                    yield from emit(record)
+                return
+            for chunk in rt.dbms_chunks(node.source, fields,
+                                        batch_size=node.batch_size, whole=whole):
+                if chunk.whole is not None:
+                    for record in chunk.whole:
+                        yield from emit(record)
+                else:
+                    for values in chunk.iter_rows():
+                        yield from emit(dict(zip(fields, values)))
             return
         raise ExecutionError(f"no interpreted scan for format {fmt!r}")
 

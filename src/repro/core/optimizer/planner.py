@@ -64,6 +64,7 @@ class PlanDecisions:
     join_order: list[str] = field(default_factory=list)         # vars, build→probe
     populate: dict[str, tuple] = field(default_factory=dict)    # var → cached fields
     batch: dict[str, int] = field(default_factory=dict)         # var → rows per chunk
+    parallel: dict[str, int] = field(default_factory=dict)      # var → morsel DoP
     cache_served: bool = False
     notes: list[str] = field(default_factory=list)
 
@@ -76,6 +77,9 @@ class PlanDecisions:
         if self.batch:
             out += " batch[" + ", ".join(
                 f"{v}:{b}" for v, b in self.batch.items()) + "]"
+        if self.parallel:
+            out += " parallel[" + ", ".join(
+                f"{v}:{n}" for v, n in self.parallel.items()) + "]"
         for note in self.notes:
             out += f"\n  note: {note}"
         return out
@@ -109,6 +113,8 @@ class Planner:
         enable_cache: bool = True,
         enable_posmap: bool = True,
         batch_size: int | None = None,
+        parallelism: int = 1,
+        serial_sources: frozenset | set | None = None,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
@@ -117,6 +123,10 @@ class Planner:
         self.enable_posmap = enable_posmap
         #: fixed rows-per-chunk override (None = cost-model choice per scan)
         self.batch_size = batch_size
+        #: session-level morsel worker budget (1 = serial, the safe default)
+        self.parallelism = parallelism
+        #: sources that must stay serial (e.g. charged to a simulated device)
+        self.serial_sources = frozenset(serial_sources or ())
 
     # -- public -----------------------------------------------------------
 
@@ -127,7 +137,57 @@ class Planner:
         decisions.cache_served = all(
             a in ("cache", "memory") for a in decisions.access.values()
         ) and bool(decisions.access)
+        if self.parallelism > 1:
+            self._choose_parallel(plan, decisions)
         return plan, decisions
+
+    # -- morsel parallelism -----------------------------------------------------
+
+    #: formats whose plugins expose splittable scan ranges
+    _SPLITTABLE = ("csv", "json", "array")
+
+    def _choose_parallel(self, plan: PhysReduce, decisions: PlanDecisions) -> None:
+        """Assign a degree of parallelism to morsel-shardable scans.
+
+        Two shapes shard: the plan's *driver* scan (the outermost loop —
+        every worker folds the root monoid into its own partial) and direct
+        hash-join *build* scans (workers build partial tables, merged
+        per key). Everything else stays serial; DoP per scan comes from
+        the cost model so small or warm scans don't pay morsel setup.
+        """
+        from ..physical import PhysHashJoin, parallel_driver
+
+        candidates: list[PhysScan] = []
+        driver = parallel_driver(plan)
+        if driver is not None:
+            candidates.append(driver)
+        stack: list = [plan.child]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, PhysHashJoin) and isinstance(node.build, PhysScan):
+                candidates.append(node.build)
+            stack.extend(node.children())
+        for scan in candidates:
+            dop = self._scan_parallelism(scan)
+            if dop > 1:
+                scan.parallel = dop
+                decisions.parallel[scan.var] = dop
+
+    def _scan_parallelism(self, scan: PhysScan) -> int:
+        if scan.source in self.serial_sources:
+            return 1
+        if scan.access == "cache":
+            cost_fmt = "cache"
+        elif scan.format in self._SPLITTABLE and scan.access in ("cold", "warm"):
+            cost_fmt = scan.format
+        else:
+            return 1  # memory / dbms / xls scans hand over serially
+        entry = self.catalog.get(scan.source)
+        rows = C.source_row_estimate(entry)
+        return C.choose_parallelism(
+            self.parallelism, rows, len(scan.chunk_fields()) or 1,
+            cost_fmt, scan.access,
+        )
 
     # -- flattening -----------------------------------------------------------
 
@@ -245,15 +305,17 @@ class Planner:
         if u.access in ("cold", "warm") and self.enable_cache:
             self._choose_population(u, entry)
 
-        if fmt in ("csv", "json", "array", "xls") and u.access in ("cold", "warm"):
+        batched = fmt in ("csv", "json", "array", "xls") and u.access in ("cold", "warm")
+        if batched:
             u.batch_size = self.batch_size if self.batch_size is not None \
-                else C.choose_batch_size(rows, len(u.fields) or 1)
+                else C.choose_batch_size(rows, len(u.fields) or 1, fmt, u.access)
             decisions.batch[u.var] = u.batch_size
 
         cost_fmt = "cache" if u.access == "cache" else (
             "memory" if u.access == "memory" else fmt
         )
-        est = C.estimate_scan(cost_fmt, u.access, rows, len(u.fields) or 1, u.pushed)
+        est = C.estimate_scan(cost_fmt, u.access, rows, len(u.fields) or 1,
+                              u.pushed, batch_size=u.batch_size if batched else 0)
         u.est_rows = max(1.0, est.output_rows)
         u.est_cost = est.total_cost
         decisions.access[u.var] = u.access

@@ -119,6 +119,9 @@ class PhysScan(PhysNode):
         populate_layout: layout for the admitted entry.
         pred: scan-local predicate (single-variable conjuncts pushed down).
         batch_size: rows per chunk on the vectorized scan path (planner pick).
+        parallel: degree of parallelism for a morsel-driven scan (planner
+            pick; 1 = serial). Only driver scans and direct hash-join build
+            scans of splittable formats ever get > 1.
     """
 
     source: str
@@ -133,6 +136,7 @@ class PhysScan(PhysNode):
     #: equality pushed into a DBMS-source index lookup: (field, constant)
     index_eq: tuple | None = None
     batch_size: int = DEFAULT_BATCH_SIZE
+    parallel: int = 1
 
     def bound_vars(self):
         return (self.var,)
@@ -239,6 +243,31 @@ class PhysReduce(PhysNode):
         return (self.child,)
 
 
+def parallel_driver(root: PhysReduce) -> PhysScan | None:
+    """The scan driving the plan's outermost loop, if morsel-shardable.
+
+    Both executors' outermost iteration follows the probe/outer/child chain
+    from the root reduce; sharding *that* scan across morsels (with every
+    worker folding into its own accumulator) is what the parallel strategy
+    parallelizes. Plans whose chain ends elsewhere (grouping ``Nest``,
+    expression scans) execute serially.
+    """
+    node: PhysNode = root.child
+    while True:
+        if isinstance(node, PhysScan):
+            return node
+        if isinstance(node, PhysFilter):
+            node = node.child
+        elif isinstance(node, PhysHashJoin):
+            node = node.probe
+        elif isinstance(node, PhysNLJoin):
+            node = node.outer
+        elif isinstance(node, PhysUnnest):
+            node = node.child
+        else:
+            return None
+
+
 def plan_scans(node: PhysNode) -> list[PhysScan]:
     """All PhysScan leaves of a plan (pre-order)."""
     out: list[PhysScan] = []
@@ -262,6 +291,8 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
             "csv", "json", "array", "xls"
         ):
             extras.append(f"batch={node.batch_size}")
+        if node.parallel > 1:
+            extras.append(f"parallel={node.parallel}")
         if node.fields:
             extras.append(f"fields=[{', '.join(node.fields)}]")
         if node.bind_whole:

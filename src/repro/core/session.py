@@ -91,11 +91,14 @@ class ViDa:
         enable_cache: bool = True,
         enable_posmap: bool = True,
         batch_size: int | None = None,
+        parallelism: int = 1,
     ):
         if default_engine not in ("jit", "static"):
             raise ViDaError(f"unknown engine {default_engine!r} (jit | static)")
         if batch_size is not None and batch_size < 1:
             raise ViDaError(f"batch_size must be >= 1, got {batch_size}")
+        if parallelism < 1:
+            raise ViDaError(f"parallelism must be >= 1, got {parallelism}")
         self.catalog = Catalog()
         self.cache = DataCache(cache_budget_bytes, admission_policy)
         self.default_engine = default_engine
@@ -103,6 +106,9 @@ class ViDa:
         self.enable_posmap = enable_posmap
         #: fixed rows-per-chunk for vectorized scans (None = planner's choice)
         self.batch_size = batch_size
+        #: morsel worker budget for parallel scans (1 = serial, the default;
+        #: the planner still decides per scan whether sharding pays off)
+        self.parallelism = parallelism
         self.cleaning: dict[str, object] = {}
         self.devices: dict[str, object] = {}
         self._jit = JITExecutor(self.catalog)
@@ -214,10 +220,7 @@ class ViDa:
 
         t0 = time.perf_counter()
         algebra = translate(norm, self.catalog.names())
-        planner = Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
-                          enable_posmap=self.enable_posmap,
-                          batch_size=self.batch_size)
-        plan, decisions = planner.plan(algebra)
+        plan, decisions = self._planner().plan(algebra)
         stats.plan_ms = (time.perf_counter() - t0) * 1e3
 
         code = ""
@@ -251,10 +254,7 @@ class ViDa:
 
             return f"InterpretedExpression[{pretty(norm)}]"
         algebra = translate(norm, self.catalog.names())
-        planner = Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
-                          enable_posmap=self.enable_posmap,
-                          batch_size=self.batch_size)
-        plan, decisions = planner.plan(algebra)
+        plan, decisions = self._planner().plan(algebra)
         return (
             "== logical ==\n" + explain_algebra(algebra)
             + "\n== physical ==\n" + explain_physical(plan)
@@ -283,6 +283,20 @@ class ViDa:
         return self.query(expr, engine=engine, output=output, limit=stmt.limit)
 
     # -- internals -----------------------------------------------------------
+
+    def _planner(self) -> Planner:
+        """A planner seeing this session's configuration and cache state.
+
+        Device-charged sources stay serial (simulated devices account
+        per-access state the worker threads would race on); a wildcard
+        device pins the whole session serial.
+        """
+        parallelism = 1 if "*" in self.devices else self.parallelism
+        return Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
+                       enable_posmap=self.enable_posmap,
+                       batch_size=self.batch_size,
+                       parallelism=parallelism,
+                       serial_sources=frozenset(self.devices))
 
     def _fill_exec_stats(self, stats: QueryStats, runtime: QueryRuntime) -> None:
         es = runtime.stats

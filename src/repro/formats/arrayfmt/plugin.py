@@ -206,20 +206,50 @@ class ArraySource:
                     raise DataFormatError(f"{self.path}: truncated array payload")
                 yield coords + self._unpack(payload, 0)
 
-    def scan_batches(self, batch_size: int = 1024, device=None) -> Iterator[list[tuple]]:
+    def scan_splits(self, dop: int) -> list:
+        """Independently scannable morsels: linear element ranges.
+
+        Fixed-width elements make the split exact — a worker seeks straight
+        to ``payload_offset + lo × element_size``.
+        """
+        from ...core.chunk import split_ranges
+
+        return split_ranges(self.header.element_count, dop, "elements")
+
+    def scan_batches(self, batch_size: int = 1024, device=None,
+                     element_range: tuple[int, int] | None = None) -> Iterator[list[tuple]]:
         """Row-major scan decoding ``batch_size`` elements per read.
 
         Each yielded batch is a list of ``(coords..., fields...)`` tuples;
         the fused element struct's ``iter_unpack`` decodes the whole batch
         at C speed instead of one ``read``+unpack round-trip per element.
+        ``element_range`` restricts the pass to elements ``[lo, hi)``.
         """
         esize = self.header.element_size
         dims = self.header.dims
-        remaining = self.header.element_count
-        coords_iter = itertools.product(*(range(d) for d in dims))
+        lo, hi = element_range if element_range is not None \
+            else (0, self.header.element_count)
+        hi = min(hi, self.header.element_count)
+        if lo >= hi:
+            return
+        remaining = hi - lo
+        if lo and dims:
+            # start the (C-speed) coordinate product at lo's first-dim
+            # block and discard only the within-block prefix — never O(lo)
+            stride0 = 1
+            for d in dims[1:]:
+                stride0 *= d
+            first = lo // stride0
+            coords_iter = itertools.product(
+                range(first, dims[0]), *(range(d) for d in dims[1:])
+            )
+            coords_iter = itertools.islice(coords_iter, lo - first * stride0,
+                                           None)
+        else:
+            coords_iter = itertools.product(*(range(d) for d in dims))
         unpack_all = self._element_struct.iter_unpack
         with RawFile(self.path, device=device) as raw:
-            raw.seek(self.header.payload_offset)
+            raw.seek(self.header.payload_offset + lo * esize)
             while remaining > 0:
                 n = min(batch_size, remaining)
                 payload = raw.read(esize * n)
@@ -234,14 +264,25 @@ class ArraySource:
         batch_size: int = 1024,
         device=None,
         whole: bool = False,
+        split=None,
     ):
         """Batched scan yielding :class:`~repro.core.chunk.Chunk` objects.
 
         ``fields`` may name dimensions or element attributes; ``whole``
         additionally materialises full record dicts on ``chunk.whole``.
+        ``split`` restricts the scan to one element-range morsel from
+        :meth:`scan_splits`.
         """
         from ...core.chunk import Chunk
 
+        element_range = None
+        if split is not None and split.kind != "all":
+            if split.kind != "elements":
+                raise DataFormatError(
+                    f"{self.path}: array scans cannot interpret a "
+                    f"{split.kind!r} morsel"
+                )
+            element_range = (split.lo, split.hi)
         names = list(self.dim_names) + [n for n, _t in self.header.fields]
         field_list = list(fields) if fields is not None else names
         for f in field_list:
@@ -250,7 +291,8 @@ class ArraySource:
                     f"{self.path}: array source has no component {f!r}"
                 )
         picks = [names.index(f) for f in field_list]
-        for batch in self.scan_batches(batch_size, device=device):
+        for batch in self.scan_batches(batch_size, device=device,
+                                       element_range=element_range):
             if not picks and not whole:
                 yield Chunk((), (), len(batch))
                 continue

@@ -284,35 +284,103 @@ class CSVSource:
 
     # -- batched access path (chunk pipeline) ----------------------------------
 
+    def scan_splits(self, dop: int) -> list:
+        """Independently scannable morsels for a parallel scan.
+
+        With a complete positional map the file splits into exact row
+        ranges (workers know their global row numbers and navigate with the
+        map); otherwise the data region splits into byte ranges that each
+        worker aligns to line boundaries at read time — no pre-pass.
+        """
+        from ...core.chunk import Morsel, split_ranges
+
+        if self.posmap.complete:
+            return split_ranges(len(self.posmap.row_offsets), dop, "rows")
+        size = os.path.getsize(self.path)
+        start = self._data_start
+        if dop <= 1 or size - start <= dop:
+            return [Morsel("all")]
+        bounds = [start + (size - start) * i // dop for i in range(dop + 1)]
+        return [Morsel("bytes", lo, hi)
+                for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+
     def iter_line_batches(
-        self, batch_size: int, device=None, record_anchors: list[int] | None = None
+        self,
+        batch_size: int,
+        device=None,
+        record_anchors: list[int] | None = None,
+        byte_range: tuple[int, int] | None = None,
+        start_row: int = 0,
+        record_map: "PositionalMap | None" = None,
     ) -> Iterator[tuple[int, list[str]]]:
         """Yield ``(start_row, lines)`` batches of decoded data lines.
 
         When ``record_anchors`` is given, positional-map population is
         piggybacked on the pass (the caller brackets it with
         ``posmap.begin_population``/``finish_population``).
+
+        ``byte_range`` restricts the pass to lines *starting* inside
+        ``[lo, hi)``: a line belongs to the range holding its first byte,
+        so ranges tiling the data region partition the rows exactly. The
+        reader self-aligns — a range starting mid-line skips that line
+        (it belongs to the previous range). ``start_row`` seeds the row
+        numbering for ranges that know their global position.
+        ``record_map`` redirects positional-map recording (per-morsel
+        partial maps); default is the source's own map.
         """
         encoding = self.options.encoding
-        record = self.posmap.record_row if record_anchors is not None else None
+        record_map = record_map if record_map is not None else self.posmap
+        record = record_map.record_row if record_anchors is not None else None
+        if byte_range is None:
+            # a full scan is the degenerate range: the whole data region
+            byte_range = (self._data_start, os.path.getsize(self.path))
+        lo, hi = byte_range
         with RawFile(self.path, device=device) as raw:
-            row = 0
-            start = 0
-            batch: list[str] = []
-            for offset, line_bytes in raw.iter_lines():
-                if offset < self._data_start:
-                    continue
-                line = line_bytes.decode(encoding)
-                if not line:
-                    continue
-                if record is not None:
-                    record(offset, line, record_anchors)
-                batch.append(line)
-                row += 1
-                if len(batch) >= batch_size:
-                    yield start, batch
-                    start = row
-                    batch = []
+            skip_first = False
+            if lo > self._data_start:
+                skip_first = raw.read_at(lo - 1, 1) != b"\n"
+            else:
+                lo = self._data_start
+            raw.seek(lo)
+            pos = lo
+            carry = b""
+            row = start_row
+            start = row
+            batch = []
+            done = False
+            while not done:
+                data = raw.read(1 << 20)
+                if not data:
+                    break
+                parts = (carry + data).split(b"\n")
+                carry = parts.pop()
+                for line_bytes in parts:
+                    line_start = pos
+                    pos += len(line_bytes) + 1
+                    if skip_first:
+                        skip_first = False
+                        continue
+                    if line_start >= hi:
+                        done = True
+                        break
+                    line = line_bytes.decode(encoding)
+                    if not line:
+                        continue
+                    if record is not None:
+                        record(line_start, line, record_anchors)
+                    batch.append(line)
+                    row += 1
+                    if len(batch) >= batch_size:
+                        yield start, batch
+                        start = row
+                        batch = []
+            if carry and not done and not skip_first and pos < hi:
+                # trailing line without a final newline starts at ``pos``
+                line = carry.decode(encoding)
+                if line:
+                    if record is not None:
+                        record(pos, line, record_anchors)
+                    batch.append(line)
             if batch:
                 yield start, batch
 
@@ -351,6 +419,8 @@ class CSVSource:
         clean=None,
         whole: bool = False,
         access: str | None = None,
+        split=None,
+        posmap_partial: PositionalMap | None = None,
     ):
         """Batched scan: yield :class:`~repro.core.chunk.Chunk` objects.
 
@@ -359,6 +429,12 @@ class CSVSource:
         map population piggybacks on cold passes exactly as in the row path.
         ``whole`` additionally materialises full row dicts (``chunk.whole``).
         ``access`` forces ``"cold"``/``"warm"``; default picks by map state.
+
+        ``split`` restricts the scan to one :class:`~repro.core.chunk.Morsel`
+        from :meth:`scan_splits` (parallel workers). Cold byte-range morsels
+        piggyback population into ``posmap_partial`` (a fresh per-worker map
+        from :meth:`new_posmap_partial`); the scan coordinator merges the
+        partials in morsel order via :meth:`adopt_posmap_partials`.
         """
         from ...core.chunk import Chunk
 
@@ -366,12 +442,37 @@ class CSVSource:
         cols = self.field_indexes(field_list)
         if access is None:
             access = "warm" if self.posmap.complete else "cold"
+        byte_range = None
+        start_row = 0
+        if split is not None and split.kind != "all":
+            if split.kind == "rows":
+                offsets = self.posmap.row_offsets
+                if split.lo >= len(offsets) or split.lo >= split.hi:
+                    return
+                end = offsets[split.hi] if split.hi < len(offsets) \
+                    else os.path.getsize(self.path)
+                byte_range = (offsets[split.lo], end)
+                start_row = split.lo
+            elif split.kind == "bytes":
+                byte_range = (split.lo, split.hi)
+            else:
+                raise DataFormatError(
+                    f"{self.path}: CSV scans cannot interpret a "
+                    f"{split.kind!r} morsel"
+                )
         all_cols = list(range(len(self.columns))) if whole else None
         conv_cols = all_cols if whole else cols
         record_anchors = None
-        if access == "cold":
+        record_map = None
+        if access == "cold" and byte_range is None:
             record_anchors = self.posmap.anchor_columns(cols)
             self.posmap.begin_population(record_anchors)
+        elif access == "cold" and posmap_partial is not None \
+                and split is not None and split.kind == "bytes":
+            # sharded population: record into the worker's partial map
+            record_anchors = self.posmap.anchor_columns(cols)
+            posmap_partial.begin_population(record_anchors)
+            record_map = posmap_partial
         delim = self.options.delimiter
         validate = clean is not None and getattr(clean, "validate_always", False)
         # Warm narrow projections navigate with the positional map: one jump
@@ -380,7 +481,10 @@ class CSVSource:
         navigate = (access == "warm" and self.posmap.complete and not whole
                     and bool(cols) and clean is None)
         for start, lines in self.iter_line_batches(batch_size, device=device,
-                                                   record_anchors=record_anchors):
+                                                   record_anchors=record_anchors,
+                                                   byte_range=byte_range,
+                                                   start_row=start_row,
+                                                   record_map=record_map):
             if navigate:
                 yield Chunk.from_columns(
                     field_list, self._navigate_batch(cols, lines, start))
@@ -405,7 +509,7 @@ class CSVSource:
                 chunk.selection = selection
                 chunk = chunk.compact()
             yield chunk
-        if access == "cold":
+        if record_anchors is not None and record_map is None:
             self.posmap.finish_population()
 
     def _navigate_batch(self, cols: list[int], lines: list[str],
@@ -510,6 +614,15 @@ class CSVSource:
             return columns, None
         selection = [i for i in range(len(cells_rows)) if i not in dropped]
         return columns, selection
+
+    def new_posmap_partial(self) -> PositionalMap:
+        """A fresh per-morsel recorder for sharded positional-map population."""
+        return PositionalMap(len(self.columns), self.options.delimiter,
+                             self.posmap.stride)
+
+    def adopt_posmap_partials(self, partials: list[PositionalMap]) -> None:
+        """Merge morsel-ordered partial maps into the source's map."""
+        self.posmap.adopt_partials(partials)
 
     def fetch_row(self, row: int, fields: Sequence[str], device=None) -> tuple:
         """Positional access path: fetch one row's fields via the map."""

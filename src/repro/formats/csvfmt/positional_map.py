@@ -94,6 +94,25 @@ class PositionalMap:
     def finish_population(self) -> None:
         self.complete = True
 
+    def adopt_partials(self, partials: list["PositionalMap"]) -> None:
+        """Merge per-morsel partial maps, in morsel order, into this map.
+
+        A parallel cold scan records offsets into one fresh partial map per
+        byte-range morsel; byte ranges tile the data region in file order,
+        so concatenating the partials' row and column offset lists
+        reconstructs exactly the sequential population. All partials must
+        have been populated with the same anchor-column set.
+        """
+        if self.complete or not partials:
+            return
+        columns = partials[0].mapped_columns
+        self.begin_population(columns)
+        for pm in partials:
+            self.row_offsets.extend(pm.row_offsets)
+            for col in columns:
+                self._col_offsets[col].extend(pm._col_offsets[col])
+        self.finish_population()
+
     # -- lookup ---------------------------------------------------------------
 
     @property

@@ -96,6 +96,33 @@ class DBMSSource:
             return
         yield from self.store.iter_dicts(self.table, list(fields) if fields else None)
 
+    def scan_chunks(
+        self,
+        fields: Sequence[str] | None = None,
+        batch_size: int = 1024,
+        whole: bool = False,
+    ):
+        """Batched scan yielding :class:`~repro.core.chunk.Chunk` objects.
+
+        The stores themselves hand records over one at a time; chunking at
+        the source boundary still amortises the plugin → runtime → engine
+        handoff, so every registered source speaks the batch protocol.
+        Tabular stores columnarise the requested ``fields`` per batch
+        (tuples straight off ``store.scan``, no dict round-trip); document
+        stores carry whole nested documents on ``chunk.whole``.
+        """
+        from ..core.chunk import Chunk, chunked
+
+        if isinstance(self.store, DocStore) or whole or not fields:
+            names = list(fields) if fields else None
+            for batch in chunked(self.scan(names), batch_size):
+                yield Chunk((), (), len(batch), whole=batch)
+            return
+        field_list = list(fields)
+        for batch in chunked(self.store.scan(self.table, field_list), batch_size):
+            columns = [[t[i] for t in batch] for i in range(len(field_list))]
+            yield Chunk.from_columns(field_list, columns)
+
     def index_lookup(self, field: str, value) -> Iterator[dict]:
         """Index access path: only documents/rows with ``field == value``."""
         if isinstance(self.store, DocStore):

@@ -165,26 +165,49 @@ class JSONSource:
                     f"{span.start}-{span.end}: {exc}"
                 ) from exc
 
-    def scan_object_chunks(self, batch_size: int = 1024, device=None) -> Iterator[list]:
+    def scan_splits(self, dop: int) -> list:
+        """Independently scannable morsels: contiguous semi-index span ranges.
+
+        Builds the semi-index if absent (one raw pass, no parsing) — the
+        split decision runs on the coordinating thread before workers start,
+        so the index is read-only by the time morsels execute.
+        """
+        from ...core.chunk import split_ranges
+
+        return split_ranges(len(self.semi_index.spans), dop, "spans")
+
+    def scan_object_chunks(self, batch_size: int = 1024, device=None,
+                           span_range: tuple[int, int] | None = None) -> Iterator[list]:
         """Parse top-level objects a batch at a time (chunk pipeline).
 
         Same contract as :meth:`scan_objects` (builds the semi-index as a
         side effect) but amortises the per-object Python iteration overhead
-        over ``batch_size`` objects.
+        over ``batch_size`` objects. ``span_range`` restricts the pass to
+        spans ``[lo, hi)`` and reads only the bytes covering them.
         """
         spans = self.semi_index.spans
+        base = 0
         encoding = self.options.encoding
         loads = json.loads
         with RawFile(self.path, device=device) as raw:
-            data = raw.read()
+            if span_range is None:
+                data = raw.read()
+            else:
+                lo, hi = span_range
+                spans = spans[lo:hi]
+                if not spans:
+                    return
+                base = spans[0].start
+                data = raw.read_at(base, spans[-1].end - base)
         for i in range(0, len(spans), batch_size):
             group = spans[i:i + batch_size]
             try:
-                yield [loads(data[s.start:s.end].decode(encoding)) for s in group]
+                yield [loads(data[s.start - base:s.end - base].decode(encoding))
+                       for s in group]
             except json.JSONDecodeError:
                 for span in group:  # locate the bad object for the error
                     try:
-                        loads(data[span.start:span.end].decode(encoding))
+                        loads(data[span.start - base:span.end - base].decode(encoding))
                     except json.JSONDecodeError as exc:
                         raise DataFormatError(
                             f"{self.path}: bad JSON object at bytes "
@@ -212,16 +235,27 @@ class JSONSource:
         batch_size: int = 1024,
         device=None,
         whole: bool = False,
+        split=None,
     ):
         """Batched scan yielding :class:`~repro.core.chunk.Chunk` objects.
 
         ``paths`` become aligned columns; ``whole`` keeps the parsed objects
-        on ``chunk.whole`` for scans that bind the full element.
+        on ``chunk.whole`` for scans that bind the full element. ``split``
+        restricts the scan to one span-range morsel from :meth:`scan_splits`.
         """
         from ...core.chunk import Chunk
 
+        span_range = None
+        if split is not None and split.kind != "all":
+            if split.kind != "spans":
+                raise DataFormatError(
+                    f"{self.path}: JSON scans cannot interpret a "
+                    f"{split.kind!r} morsel"
+                )
+            span_range = (split.lo, split.hi)
         paths = tuple(paths)
-        for objs in self.scan_object_chunks(batch_size, device=device):
+        for objs in self.scan_object_chunks(batch_size, device=device,
+                                            span_range=span_range):
             columns = self.project_paths(objs, paths) if paths else []
             yield Chunk.from_columns(paths, columns,
                                      whole=objs if whole or not paths else None)

@@ -121,8 +121,17 @@ class ColStoreAdapter(Adapter):
         return self.store.iter_dicts(self.table, list(fields))
 
     def fetch_filtered(self, fields, filters):
-        """Column-at-a-time selection: build the qualifying-row id list from
-        the filter columns, then materialise only survivors."""
+        """Column-at-a-time selection with chunk ``selection`` semantics.
+
+        Each filter narrows one selection vector of surviving row indexes
+        (``core.chunk.Chunk.selection``); an empty vector short-circuits
+        before any projection column is fetched, and survivors materialise
+        through one :meth:`~repro.core.chunk.Chunk.compact` — a single take
+        per projected column instead of per-row indexing (and no dense
+        ``range(row_count)`` fallback when nothing filtered).
+        """
+        from ..core.chunk import Chunk
+
         names = list(fields)
         selection: list[int] | None = None
         for f in filters:
@@ -136,10 +145,10 @@ class ColStoreAdapter(Adapter):
             if not selection:
                 return
         cols = [self.store.column(self.table, f) for f in names]
-        if selection is None:
-            selection = range(self.store.row_count(self.table))
-        for i in selection:
-            yield {f: col[i] for f, col in zip(names, cols)}
+        length = len(cols[0]) if cols else self.store.row_count(self.table)
+        chunk = Chunk(tuple(names), tuple(cols), length, selection=selection)
+        for values in chunk.compact().iter_rows():
+            yield dict(zip(names, values))
 
 
 @dataclass

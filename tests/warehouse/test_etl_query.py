@@ -166,6 +166,29 @@ def test_adapters_filtered_fetch_equivalence(tmp_path, loaded_stores):
         assert native == generic == [5, 6, 7, 8, 9, 10, 11, 12, 13, 14]
 
 
+def test_colstore_filtered_fetch_selection_vector_semantics():
+    """ColStore pushdown follows the chunk selection-vector contract."""
+    store = ColStore()
+    store.create_table("P", ["id", "age", "name"], ["int", "int", "string"])
+    store.insert_rows("P", [(i, 20 + i % 10, f"n{i}") for i in range(40)])
+    adapter = ColStoreAdapter(store, "P")
+
+    # empty selection short-circuits before projection columns are touched
+    out = list(adapter.fetch_filtered(["id", "name"], [Filter("age", ">", 99)]))
+    assert out == []
+
+    # successive filters narrow one selection vector; survivors keep order
+    out = list(adapter.fetch_filtered(
+        ["id", "age"], [Filter("age", ">=", 25), Filter("id", "<", 20)]
+    ))
+    assert out == [{"id": i, "age": 20 + i % 10}
+                   for i in range(20) if 20 + i % 10 >= 25]
+
+    # no filters: every row, in storage order, no dense index fallback
+    out = list(adapter.fetch_filtered(["id"], []))
+    assert out == [{"id": i} for i in range(40)]
+
+
 # -- integration layer -----------------------------------------------------
 
 
