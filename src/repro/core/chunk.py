@@ -16,8 +16,11 @@ A :class:`Chunk` is the unit that crosses the boundary:
 - ``whole``   — optionally, the whole elements (row dicts / parsed JSON
   objects) for scans that must bind the full record,
 - ``selection`` — optional selection vector: indexes of surviving rows
-  after a batch-level filter (e.g. cleaning skips); :meth:`compact`
-  applies it.
+  after a batch-level filter (cleaning skips, predicate kernels); chunks
+  travel *uncompacted* and every consumer honours the vector —
+  :meth:`iter_rows`/:meth:`iter_whole` yield only surviving rows,
+  :meth:`compact` materialises a dense chunk, and an empty vector means
+  the whole batch was filtered out (consumers short-circuit).
 
 Cache hits are served as *zero-copy* chunk views: a cached columnar entry's
 lists are wrapped in a single Chunk without copying a value.
@@ -41,6 +44,10 @@ class Chunk:
     length: int
     whole: list | None = None
     selection: list[int] | None = None
+    #: physical rows the producer scanned for this batch when that exceeds
+    #: ``length`` — set by selection-pushdown scans that materialise only
+    #: predicate survivors (late materialization); used for raw-row stats
+    scanned: int | None = None
 
     @classmethod
     def from_columns(
@@ -71,16 +78,24 @@ class Chunk:
 
     @classmethod
     def from_rows(cls, fields: Sequence[str], rows: Iterable[tuple]) -> "Chunk":
-        """Columnarize an iterable of aligned row tuples."""
+        """Columnarize an iterable of aligned row tuples.
+
+        Every row must carry exactly ``len(fields)`` values: ``zip(*rows)``
+        truncates to the shortest row, so ragged input is rejected up front
+        with the same ``ValueError`` contract as :meth:`from_columns`.
+        """
         fields = tuple(fields)
         rows = list(rows)
         if not rows:
             return cls(fields, tuple([] for _ in fields), 0)
+        width = len(fields)
+        for i, row in enumerate(rows):
+            if len(row) != width:
+                raise ValueError(
+                    f"ragged chunk: row {i} has {len(row)} values for "
+                    f"{width} fields"
+                )
         columns = tuple(list(col) for col in zip(*rows))
-        if len(columns) != len(fields):
-            raise ValueError(
-                f"rows of {len(columns)} values for {len(fields)} fields"
-            )
         return cls(fields, columns, len(rows))
 
     def column(self, name: str) -> list:
@@ -89,10 +104,27 @@ class Chunk:
         except ValueError:
             raise KeyError(f"chunk has no column {name!r}; has {self.fields}") from None
 
+    @property
+    def selected_length(self) -> int:
+        """Number of surviving rows (``length`` when nothing was filtered)."""
+        return self.length if self.selection is None else len(self.selection)
+
     def iter_rows(self) -> Iterator[tuple]:
-        """Yield aligned value tuples (C-level ``zip`` iteration)."""
+        """Yield aligned value tuples of *surviving* rows.
+
+        A pending ``selection`` vector is honoured: filtered-out rows never
+        surface. Dense chunks iterate with C-level ``zip``.
+        """
+        sel = self.selection
         if not self.columns:
-            return iter(() for _ in range(self.length))
+            count = self.length if sel is None else len(sel)
+            return iter(() for _ in range(count))
+        if sel is not None:
+            cols = self.columns
+            if len(cols) == 1:
+                col = cols[0]
+                return ((col[i],) for i in sel)
+            return (tuple(col[i] for col in cols) for i in sel)
         if len(self.columns) == 1:
             return ((v,) for v in self.columns[0])
         return zip(*self.columns)
@@ -100,8 +132,37 @@ class Chunk:
     def rows(self) -> list[tuple]:
         return list(self.iter_rows())
 
+    def iter_whole(self) -> Iterator:
+        """Yield surviving whole elements (selection-aware)."""
+        if self.whole is None:
+            return iter(())
+        if self.selection is None:
+            return iter(self.whole)
+        whole = self.whole
+        return (whole[i] for i in self.selection)
+
+    def selected_columns(self) -> tuple[list, ...]:
+        """Column lists holding only surviving rows (per-column kernels)."""
+        sel = self.selection
+        if sel is None:
+            return self.columns
+        return tuple([col[i] for i in sel] for col in self.columns)
+
     def take(self, indexes: Sequence[int]) -> "Chunk":
-        """A new chunk holding only the rows at ``indexes`` (in order)."""
+        """A new dense chunk holding only the rows at ``indexes`` (in order).
+
+        Refuses uncompacted chunks: positional indexes are ambiguous while a
+        selection vector is pending (physical vs surviving row numbering) —
+        :meth:`compact` first.
+        """
+        if self.selection is not None:
+            raise ValueError(
+                "take() on an uncompacted chunk: a selection vector is "
+                "pending; call compact() first"
+            )
+        return self._gather(indexes)
+
+    def _gather(self, indexes: Sequence[int]) -> "Chunk":
         columns = tuple([col[i] for i in indexes] for col in self.columns)
         whole = [self.whole[i] for i in indexes] if self.whole is not None else None
         return Chunk(self.fields, columns, len(indexes), whole)
@@ -110,7 +171,7 @@ class Chunk:
         """Apply the selection vector, if any, returning a dense chunk."""
         if self.selection is None:
             return self
-        return self.take(self.selection)
+        return self._gather(self.selection)
 
     def __len__(self) -> int:
         return self.length

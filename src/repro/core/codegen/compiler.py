@@ -24,6 +24,7 @@ The generated module source is kept on the result object for inspection
 from __future__ import annotations
 
 import math
+import re
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -80,6 +81,68 @@ class CodeWriter:
 
 def _sanitize(name: str) -> str:
     return "".join(ch if ch.isalnum() else "_" for ch in name)
+
+
+def _is_true(pred) -> bool:
+    return pred is None or (isinstance(pred, A.Const) and pred.value is True)
+
+
+def _name_used(src: str, name: str) -> bool:
+    """Does compiled source ``src`` reference the local ``name``?"""
+    return re.search(rf"(?<![\w]){re.escape(name)}(?![\w])", src) is not None
+
+
+def _contains_comprehension(expr) -> bool:
+    """Nested comprehensions compile to helper functions taking the outer
+    locals as *parameters* — they cannot live inside a kernel that rebinds
+    locals to tuple subscripts, so fused join folds must skip them."""
+    if expr is None:
+        return False
+    if isinstance(expr, A.Comprehension):
+        return True
+    return any(_contains_comprehension(c) for c in expr.children())
+
+
+class _ChunkCtx:
+    """Per-chunk emitted state: the (possibly selection-compacted) column
+    list variable, whole-element variable, and surviving-row count."""
+
+    def __init__(self, names: list[str], cols: str | None, total: int,
+                 whole: str | None, whole_local: str | None,
+                 count: str | None):
+        self.names = names          # locals aligned with cols[:len(names)]
+        self.cols = cols            # var holding the chunk's column lists
+        self.total = total          # how many columns ``cols`` carries
+        self.whole = whole          # var holding the whole-element list
+        self.whole_local = whole_local
+        self.count = count          # var holding the surviving-row count
+
+    def sliced_cols(self) -> str:
+        """Column-list expression narrowed to the bound locals."""
+        k = len(self.names)
+        return self.cols if self.total == k else f"{self.cols}[:{k}]"
+
+
+def _row_iter(ctx: _ChunkCtx) -> tuple[str, str, bool]:
+    """(target, iterable, yields-scalar) for iterating a chunk's rows.
+
+    The iteration is a C-level ``zip`` over column lists; ``scalar`` is True
+    when the iterable yields bare values rather than tuples.
+    """
+    names = ctx.names
+    if names and ctx.whole_local:
+        if len(names) == 1:
+            return (f"{names[0]}, {ctx.whole_local}",
+                    f"zip({ctx.cols}[0], {ctx.whole})", False)
+        return (f"({', '.join(names)}), {ctx.whole_local}",
+                f"zip(zip(*{ctx.sliced_cols()}), {ctx.whole})", False)
+    if names:
+        if len(names) == 1:
+            return names[0], f"{ctx.cols}[0]", True
+        return ", ".join(names), f"zip(*{ctx.sliced_cols()})", False
+    if ctx.whole_local:
+        return ctx.whole_local, ctx.whole, True
+    return "_", f"range({ctx.count})", True
 
 
 # ---------------------------------------------------------------------------
@@ -199,11 +262,125 @@ def _emit_fold_init(w: CodeWriter, name: str | None) -> None:
         w.emit("_acc = _M.zero()")
 
 
-class QueryCompiler:
-    """Compiles one physical plan into a Python function ``fn(runtime)``."""
+class _BuildSink:
+    """Vectorized hash-join build side: one fused key+row kernel per chunk
+    (a comprehension evaluating the build key and materialising the row
+    tuple per surviving row) feeding a tight bulk dict-insert loop."""
 
-    def __init__(self, catalog):
+    def __init__(self, ht: str, node: PhysHashJoin):
+        self.ht = ht
+        self.node = node
+
+    def emit(self, c: "QueryCompiler", ctx: _ChunkCtx) -> None:
+        w = c.w
+        locals_list = c._binding_locals(self.node.build.bound_vars())
+        row = ", ".join(locals_list) + ("," if len(locals_list) == 1 else "")
+        key = c._join_key(self.node.build_keys)
+        tgt, it, _scalar = _row_iter(ctx)
+        kb = c._next("kb")
+        w.emit(f"{kb} = [({key}, ({row})) for {tgt} in {it}]")
+        hg = c._next("hg")
+        w.emit(f"{hg} = {self.ht}.get")
+        with w.block(f"for _k, _r in {kb}:"):
+            w.emit(f"_b = {hg}(_k)")
+            with w.block("if _b is None:"):
+                w.emit(f"{self.ht}[_k] = [_r]")
+            with w.block("else:"):
+                w.emit("_b.append(_r)")
+
+
+class _ProbeSink:
+    """Vectorized hash-join probe side: a batched key-lookup kernel emits a
+    matched-selection vector per chunk; surviving probe rows are compacted
+    with per-column kernels, and either the root fold fuses over them or the
+    downstream consumer runs row-at-a-time over matches only."""
+
+    def __init__(self, ht: str, node: PhysHashJoin, build_locals: list[str],
+                 consume, fold: tuple | None):
+        self.ht = ht
+        self.node = node
+        self.build_locals = build_locals
+        self.consume = consume
+        self.fold = fold
+
+    def emit(self, c: "QueryCompiler", ctx: _ChunkCtx) -> None:
+        w = c.w
+        key = c._join_key(self.node.probe_keys)
+        tgt, it, _scalar = _row_iter(ctx)
+        kp = c._next("kp")
+        ms = c._next("ms")
+        w.emit(f"{kp} = [{key} for {tgt} in {it}]")
+        w.emit(f"{ms} = [_i for _i, _k in enumerate({kp}) if _k in {self.ht}]")
+        with w.block(f"if not {ms}:"):
+            w.emit("continue")
+        mk = c._next("mk")
+        w.emit(f"{mk} = [{kp}[_i] for _i in {ms}]")
+        c._emit_narrow(ctx, ms)
+        tgt, it, scalar = _row_iter(ctx)
+        joined_tgt = f"_k, {tgt}" if scalar else f"_k, ({tgt})"
+        joined_it = f"zip({mk}, {it})"
+        if self.fold is not None:
+            self._emit_fused_fold(c, joined_tgt, joined_it, mk)
+            return
+        rv = c._next("r")
+        with w.block(f"for {joined_tgt} in {joined_it}:"):
+            with w.block(f"for {rv} in {self.ht}[_k]:"):
+                for i, name in enumerate(self.build_locals):
+                    w.emit(f"{name} = {rv}[{i}]")
+                c._emit_pred_then(self.node.residual, self.consume)
+
+    def _emit_fused_fold(self, c: "QueryCompiler", joined_tgt: str,
+                         joined_it: str, mk: str) -> None:
+        """Root fold fused over the surviving (matched) join rows: one
+        comprehension per chunk spanning probe matches × build rows."""
+        w = c.w
+        name, head_expr = self.fold
+        residual = self.node.residual
+        if name == "count" and _is_true(residual):
+            w.emit(f"_acc += sum(len({self.ht}[_k]) for _k in {mk})")
+            return
+        # build-side locals live in hash-table row tuples inside the
+        # comprehension: rebind them to subscripts of the row variable
+        saved: dict[str, object] = {}
+        pos = {n: i for i, n in enumerate(self.build_locals)}
+        for var in self.node.build.bound_vars():
+            binding = c.ctx.bindings[var]
+            saved[var] = binding
+            if isinstance(binding, ObjectBinding):
+                c.ctx.bindings[var] = ObjectBinding(f"_r[{pos[binding.local]}]")
+            else:
+                c.ctx.bindings[var] = ScalarBinding(
+                    {p: f"_r[{pos[l]}]"
+                     for p, l in binding.locals_by_path.items()},
+                    whole_local=(f"_r[{pos[binding.whole_local]}]"
+                                 if binding.whole_local else None),
+                )
+        try:
+            cond = ""
+            if not _is_true(residual):
+                cond = f" if {compile_expr(residual, c.ctx)}"
+            inner = f"for {joined_tgt} in {joined_it} for _r in {self.ht}[_k]{cond}"
+            if name == "count":
+                w.emit(f"_acc += sum(1 {inner})")
+                return
+            head = compile_expr(head_expr, c.ctx)
+            c._emit_fold_tail(name, f"[{head} {inner}]")
+        finally:
+            c.ctx.bindings.update(saved)
+
+
+class QueryCompiler:
+    """Compiles one physical plan into a Python function ``fn(runtime)``.
+
+    ``vector_filters`` (default) evaluates scan predicates as per-chunk
+    selection-vector kernels and vectorizes hash-join build/probe; disabling
+    it restores row-at-a-time predicate tests and per-row join dispatch
+    (kept for differential testing and benchmarking the batch win).
+    """
+
+    def __init__(self, catalog, vector_filters: bool = True):
         self.catalog = catalog
+        self.vector_filters = vector_filters
 
     def compile(self, plan: PhysReduce) -> CompiledQuery:
         self.ctx = ExprContext(source_names=self.catalog.names())
@@ -212,6 +389,8 @@ class QueryCompiler:
         self._finalizers: list[str] = []  # emitted at function end (indent 1)
         #: (monoid name, head expr) when the root fold fuses into chunk kernels
         self._fold: tuple | None = None
+        #: chunk-level consumer (join build/probe sink) replacing the row loop
+        self._chunk_sink: object | None = None
         #: id(PhysScan) → parallel region for morsel-sharded scans
         self._par_regions: dict[int, object] = {}
 
@@ -318,11 +497,18 @@ class QueryCompiler:
         # When the root fold consumes a chunked scan directly, the whole
         # reduce vectorizes: one comprehension kernel per chunk instead of a
         # Python-level loop iteration per row (paper §4's "no per-tuple
-        # interpretation", batch edition).
-        if isinstance(node.child, PhysScan) and name in (
-            "count", "sum", "avg", "bag", "list", "max", "min"
-        ):
-            self._fold = (name, node.head)
+        # interpretation", batch edition). The same fusion applies through a
+        # hash join whose probe is a chunked scan: the fold comprehension
+        # then spans the matched-selection survivors × build rows.
+        fusible = name in ("count", "sum", "avg", "bag", "list", "max", "min")
+        if fusible:
+            if isinstance(node.child, PhysScan):
+                self._fold = (name, node.head)
+            elif isinstance(node.child, PhysHashJoin) \
+                    and self._sinkable(node.child.probe) \
+                    and not _contains_comprehension(node.head) \
+                    and not _contains_comprehension(node.child.residual):
+                self._fold = (name, node.head)
         self._emit_node(node.child, consume)
         self._fold = None
 
@@ -413,13 +599,14 @@ class QueryCompiler:
             local = f"_{var}_obj"
             self.ctx.bindings[node.var] = ObjectBinding(local)
             with self.w.block(f"for {ch} in {call}:"):
-                self._emit_chunk_loop(ch, [], local, node.pred, consume)
+                self._emit_chunk_body(ch, [], local, node.pred, consume)
             return
         locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in fields}
         self.ctx.bindings[node.var] = ScalarBinding(locals_by_path)
         names = [locals_by_path[f] for f in fields]
         with self.w.block(f"for {ch} in {call}:"):
-            self._emit_chunk_loop(ch, names, None, node.pred, consume)
+            self._emit_chunk_body(ch, names, None, node.pred, consume,
+                                  chunk_fields=tuple(fields))
 
     def _emit_memory_scan(self, node: PhysScan, consume) -> None:
         local = f"_{_sanitize(node.var)}_obj"
@@ -427,80 +614,168 @@ class QueryCompiler:
         with self.w.block(f"for {local} in _rt.memory({node.source!r}):"):
             self._emit_pred_then(node.pred, consume)
 
-    def _emit_chunk_loop(self, ch: str, names: list[str], whole_local: str | None,
-                         pred, consume, cols_expr: str | None = None) -> None:
-        """Emit the per-chunk row loop binding extracted locals / elements.
+    def _sinkable(self, node) -> bool:
+        """A bare chunked scan whose chunk loop can host a join sink."""
+        return (self.vector_filters and isinstance(node, PhysScan)
+                and node.chunked() and bool(node.fields or node.bind_whole))
 
-        ``names`` are the locals aligned with the chunk's leading columns;
-        ``whole_local`` binds the whole element from ``chunk.whole``. The
-        iteration itself is a C-level ``zip`` over column lists — the
-        vectorized replacement for one runtime call per row.
+    def _emit_chunk_body(self, ch: str, names: list[str],
+                         whole_local: str | None, pred, consume,
+                         chunk_fields: tuple = (), node: PhysScan | None = None,
+                         pop_lists: dict[str, str] | None = None,
+                         whole_pop_local: str | None = None) -> None:
+        """Emit one chunk's processing inside the scan's chunk loop.
+
+        Stages, all vectorized per chunk:
+
+        1. *selection prologue* — a pending ``Chunk.selection`` (cleaning
+           drops) short-circuits when empty, otherwise compacts the consumed
+           columns/whole list with per-column kernels, so uncompacted chunks
+           can never leak dropped rows;
+        2. *cache population* — whole-column extends of the cleaning
+           survivors (never pred-filtered rows: the cache stores the source,
+           not this query's filter);
+        3. *predicate kernel* — the pushed-down predicate narrows a fresh
+           selection vector in one comprehension; empty short-circuits the
+           batch and survivors compact once per column;
+        4. *dispatch* — fused root-fold kernel, join build/probe sink, or
+           the plain row loop over the surviving rows.
         """
-        cols_expr = cols_expr or f"{ch}.columns"
-        if self._fold is not None:
-            self._emit_fold_kernel(ch, names, whole_local, pred, cols_expr)
+        w = self.w
+        if _is_true(pred):
+            pred = None
+        ncols = len(names)
+        total = max(ncols, len(chunk_fields))
+        fold = self._fold
+        sink = self._chunk_sink
+        use_whole = whole_local is not None or whole_pop_local is not None
+        need_n = (not names and whole_local is None) or (
+            fold is not None and fold[0] == "count")
+        cols_var = whole_var = count_var = None
+        if total:
+            cols_var = self._next("cc")
+            w.emit(f"{cols_var} = {ch}.columns")
+        if use_whole:
+            whole_var = self._next("cw")
+            w.emit(f"{whole_var} = {ch}.whole")
+        if need_n:
+            count_var = self._next("cn")
+            w.emit(f"{count_var} = {ch}.length")
+        sel = self._next("sl")
+        w.emit(f"{sel} = {ch}.selection")
+        with w.block(f"if {sel} is not None:"):
+            with w.block(f"if not {sel}:"):
+                w.emit("continue")
+            if cols_var:
+                w.emit(f"{cols_var} = [[_c[_i] for _i in {sel}] "
+                       f"for _c in {cols_var}]")
+            if whole_var:
+                w.emit(f"{whole_var} = [{whole_var}[_i] for _i in {sel}]")
+            if count_var:
+                w.emit(f"{count_var} = len({sel})")
+        if pop_lists and node is not None:
+            for f in node.populate:
+                if f == "*":
+                    continue
+                try:
+                    idx = chunk_fields.index(f)
+                except ValueError:
+                    raise CodegenError(
+                        f"populate field {f!r} not extracted by scan of "
+                        f"{node.source!r} (has {chunk_fields})"
+                    ) from None
+                w.emit(f"{pop_lists[f]}.extend({cols_var}[{idx}])")
+        if whole_pop_local:
+            w.emit(f"{whole_pop_local}.extend({whole_var})")
+        ctx = _ChunkCtx(names, cols_var, total, whole_var, whole_local,
+                        count_var)
+        row_pred = pred
+        if pred is not None and fold is None and self.vector_filters:
+            if self._emit_pred_kernel(ctx, pred):
+                row_pred = None
+        if fold is not None:
+            self._emit_fold_kernel(ctx, pred)
             return
-        if names and whole_local:
-            if len(names) == 1:
-                header = (f"for {names[0]}, {whole_local} in "
-                          f"zip({ch}.columns[0], {ch}.whole):")
-            else:
-                header = (f"for ({', '.join(names)}), {whole_local} in "
-                          f"zip(zip(*{cols_expr}), {ch}.whole):")
-        elif names:
-            if len(names) == 1:
-                header = f"for {names[0]} in {ch}.columns[0]:"
-            else:
-                header = f"for {', '.join(names)} in zip(*{cols_expr}):"
-        elif whole_local:
-            header = f"for {whole_local} in {ch}.whole:"
-        else:
-            header = f"for _ in range({ch}.length):"
-        with self.w.block(header):
-            self._emit_pred_then(pred, consume)
+        if sink is not None and row_pred is None:
+            sink.emit(self, ctx)
+            return
+        tgt, it, _scalar = _row_iter(ctx)
+        with w.block(f"for {tgt} in {it}:"):
+            self._emit_pred_then(row_pred, consume)
 
-    def _emit_fold_kernel(self, ch: str, names: list[str],
-                          whole_local: str | None, pred,
-                          cols_expr: str) -> None:
+    def _emit_pred_kernel(self, ctx: _ChunkCtx, pred) -> bool:
+        """Vectorized filter: one comprehension evaluating the predicate
+        over exactly the columns it touches, producing a selection vector.
+        Empty vectors short-circuit the batch; survivors compact via
+        per-column kernels. Returns False for row-independent predicates
+        (nothing to vectorize over) — the caller keeps the row-loop test."""
+        w = self.w
+        src = compile_expr(pred, self.ctx)
+        used = [i for i, n in enumerate(ctx.names) if _name_used(src, n)]
+        use_w = ctx.whole_local is not None and _name_used(src, ctx.whole_local)
+        if not used and not use_w:
+            if ctx.names:
+                used = list(range(len(ctx.names)))
+            elif ctx.whole_local is not None:
+                use_w = True
+            else:
+                return False
+        targets = [ctx.names[i] for i in used]
+        sources = [f"{ctx.cols}[{i}]" for i in used]
+        if use_w:
+            targets.append(ctx.whole_local)
+            sources.append(ctx.whole)
+        sel = self._next("sl")
+        if len(sources) == 1:
+            w.emit(f"{sel} = [_i for _i, {targets[0]} in "
+                   f"enumerate({sources[0]}) if {src}]")
+        else:
+            w.emit(f"{sel} = [_i for _i, ({', '.join(targets)}) in "
+                   f"enumerate(zip({', '.join(sources)})) if {src}]")
+        with w.block(f"if not {sel}:"):
+            w.emit("continue")
+        self._emit_narrow(ctx, sel)
+        return True
+
+    def _emit_narrow(self, ctx: _ChunkCtx, sel: str) -> None:
+        """Compact a chunk context to the rows a selection vector names."""
+        w = self.w
+        k = len(ctx.names)
+        if ctx.cols is not None and k:
+            w.emit(f"{ctx.cols} = [[_c[_i] for _i in {sel}] "
+                   f"for _c in {ctx.sliced_cols()}]")
+            ctx.total = k
+        if ctx.whole is not None:
+            w.emit(f"{ctx.whole} = [{ctx.whole}[_i] for _i in {sel}]")
+        if ctx.count is not None:
+            w.emit(f"{ctx.count} = len({sel})")
+
+    def _emit_fold_kernel(self, ctx: _ChunkCtx, pred) -> None:
         """Vectorized root fold: one comprehension per chunk.
 
         Emitted instead of the row loop when the reduce sits directly on a
         chunked scan; filter predicate and head evaluation run inside a
-        single list comprehension/`sum`/`max` per chunk.
+        single list comprehension/`sum`/`max` per chunk (the predicate stays
+        fused here — a separate selection pass would cost a second kernel).
         """
         w = self.w
         name, head_expr = self._fold
-        if names and whole_local:
-            if len(names) == 1:
-                tgt = f"{names[0]}, {whole_local}"
-                it = f"zip({ch}.columns[0], {ch}.whole)"
-            else:
-                tgt = f"({', '.join(names)}), {whole_local}"
-                it = f"zip(zip(*{cols_expr}), {ch}.whole)"
-        elif names:
-            if len(names) == 1:
-                tgt = names[0]
-                it = f"{ch}.columns[0]"
-            else:
-                tgt = ", ".join(names)
-                it = f"zip(*{cols_expr})"
-        elif whole_local:
-            tgt = whole_local
-            it = f"{ch}.whole"
-        else:
-            tgt = "_"
-            it = f"range({ch}.length)"
+        tgt, it, _scalar = _row_iter(ctx)
         cond = ""
-        if pred is not None and not (isinstance(pred, A.Const) and pred.value is True):
+        if not _is_true(pred):
             cond = f" if {compile_expr(pred, self.ctx)}"
         if name == "count":
             if cond:
                 w.emit(f"_acc += sum(1 for {tgt} in {it}{cond})")
             else:
-                w.emit(f"_acc += {ch}.length")
+                w.emit(f"_acc += {ctx.count}")
             return
         head = compile_expr(head_expr, self.ctx)
-        comp = f"[{head} for {tgt} in {it}{cond}]"
+        self._emit_fold_tail(name, f"[{head} for {tgt} in {it}{cond}]")
+
+    def _emit_fold_tail(self, name: str, comp: str) -> None:
+        """Merge one chunk-kernel comprehension into the fold accumulator."""
+        w = self.w
         if name in ("bag", "list"):
             w.emit(f"_out.extend({comp})")
             return
@@ -521,21 +796,6 @@ class QueryCompiler:
         else:  # pragma: no cover - guarded by the fusible-monoid list
             raise CodegenError(f"no fold kernel for monoid {name!r}")
 
-    def _populate_extends(self, ch: str, node: PhysScan, chunk_fields: tuple,
-                          pop_lists: dict[str, str]) -> None:
-        """Populate lists take whole chunk columns (one extend per batch)."""
-        for f in node.populate:
-            if f == "*":
-                continue
-            try:
-                idx = chunk_fields.index(f)
-            except ValueError:
-                raise CodegenError(
-                    f"populate field {f!r} not extracted by scan of "
-                    f"{node.source!r} (has {chunk_fields})"
-                ) from None
-            self.w.emit(f"{pop_lists[f]}.extend({ch}.columns[{idx}])")
-
     def _emit_cache_scan(self, node: PhysScan, consume) -> None:
         w = self.w
         var = _sanitize(node.var)
@@ -546,48 +806,55 @@ class QueryCompiler:
             self.ctx.bindings[node.var] = ObjectBinding(local)
             names: list[str] = []
             whole_local: str | None = local
+            chunk_fields: tuple = ()
         else:
             locals_by_path = {f: f"_{var}_{_sanitize(f)}" for f in node.fields}
             self.ctx.bindings[node.var] = ScalarBinding(locals_by_path)
             names = [locals_by_path[f] for f in node.fields]
             whole_local = None
+            chunk_fields = tuple(node.fields)
         region = self._par_regions.get(id(node))
         if region is not None:
             self._emit_parallel_scan(region, node, call, names, whole_local,
-                                     {}, tuple(node.fields), consume)
+                                     {}, chunk_fields, consume)
             return
         ch = self._next("ch")
         with w.block(f"for {ch} in {call}:"):
-            self._emit_chunk_loop(ch, names, whole_local, node.pred, consume)
+            self._emit_chunk_body(ch, names, whole_local, node.pred, consume,
+                                  chunk_fields=chunk_fields)
+
+    _NODE_PRED = object()  # sentinel: "use node.pred" (None is meaningful)
 
     def _emit_chunked_scan(self, node: PhysScan, call: str, names: list[str],
                            whole_local: str | None, pop_lists: dict[str, str],
                            chunk_fields: tuple, consume,
-                           whole_pop_local: str | None = None) -> None:
+                           whole_pop_local: str | None = None,
+                           pred=_NODE_PRED) -> None:
         """Shared tail of every chunked scan emitter: the per-chunk loop
         with populate extends, column-local binding and the row loop (or
         fused fold kernel). Morsel-sharded scans wrap the loop in a worker
-        function instead."""
+        function instead. ``pred`` overrides the scan predicate (None when
+        selection pushdown already filtered inside the plugin)."""
+        if pred is self._NODE_PRED:
+            pred = node.pred
         region = self._par_regions.get(id(node))
         if region is not None:
             self._emit_parallel_scan(region, node, call, names, whole_local,
                                      pop_lists, chunk_fields, consume,
-                                     whole_pop_local)
+                                     whole_pop_local, pred=pred)
             return
         ch = self._next("ch")
-        cols_expr = f"{ch}.columns[:{len(names)}]" \
-            if len(chunk_fields) > len(names) else None
         with self.w.block(f"for {ch} in {call}:"):
-            self._populate_extends(ch, node, chunk_fields, pop_lists)
-            if whole_pop_local:
-                self.w.emit(f"{whole_pop_local}.extend({ch}.whole)")
-            self._emit_chunk_loop(ch, names, whole_local, node.pred, consume,
-                                  cols_expr)
+            self._emit_chunk_body(ch, names, whole_local, pred, consume,
+                                  chunk_fields=chunk_fields, node=node,
+                                  pop_lists=pop_lists,
+                                  whole_pop_local=whole_pop_local)
 
     def _emit_parallel_scan(self, region, node: PhysScan, call: str,
                             names: list[str], whole_local: str | None,
                             pop_lists: dict[str, str], chunk_fields: tuple,
-                            consume, whole_pop_local: str | None = None) -> None:
+                            consume, whole_pop_local: str | None = None,
+                            pred=_NODE_PRED) -> None:
         """Morsel-sharded scan: worker def + split fan-out + ordered merge.
 
         The worker re-initialises every accumulator it writes (making them
@@ -597,6 +864,8 @@ class QueryCompiler:
         partial accumulators and cache-population columns in morsel order.
         """
         w = self.w
+        if pred is self._NODE_PRED:
+            pred = node.pred
         assert call.endswith(")")
         call = call[:-1] + ", split=_split)"
         pop_vars = list(pop_lists.values())
@@ -609,27 +878,29 @@ class QueryCompiler:
             for lst in pop_vars:
                 w.emit(f"{lst} = []")
             ch = self._next("ch")
-            cols_expr = f"{ch}.columns[:{len(names)}]" \
-                if len(chunk_fields) > len(names) else None
             with w.block(f"for {ch} in {call}:"):
-                self._populate_extends(ch, node, chunk_fields, pop_lists)
-                if whole_pop_local:
-                    w.emit(f"{whole_pop_local}.extend({ch}.whole)")
-                self._emit_chunk_loop(ch, names, whole_local, node.pred,
-                                      consume, cols_expr)
+                self._emit_chunk_body(ch, names, whole_local, pred,
+                                      consume, chunk_fields=chunk_fields,
+                                      node=node, pop_lists=pop_lists,
+                                      whole_pop_local=whole_pop_local)
             returns = ret_vars + pop_vars
             trailing = "," if len(returns) == 1 else ""
             w.emit(f"return ({', '.join(returns)}{trailing})")
         if node.access != "cache":
             w.emit(f"_rt.account_raw({node.source!r})")
+        # bag/list driver folds are LIMIT-countable: the runtime may
+        # over-partition their splits and stop consuming morsels early
+        limited = isinstance(region, _FoldRegion) and \
+            region.name in ("bag", "list")
         splits = self._next("sp")
         w.emit(
             f"{splits} = _rt.scan_splits({node.source!r}, {node.parallel}, "
             f"access={node.access!r}, fields={node.fields!r}, "
-            f"whole={node.bind_whole!r})"
+            f"whole={node.bind_whole!r}, limited={limited!r})"
         )
         parts = self._next("pt")
-        w.emit(f"{parts} = _rt.run_morsels({worker}, {splits}, {node.parallel})")
+        w.emit(f"{parts} = _rt.run_morsels({worker}, {splits}, "
+               f"{node.parallel}, limited={limited!r})")
         region.emit_outer_init(w)
         part = self._next("p")
         with w.block(f"for {part} in {parts}:"):
@@ -651,12 +922,43 @@ class QueryCompiler:
         self.ctx.bindings[node.var] = binding
         names = [locals_by_path[f] for f in node.fields]
         chunk_fields = node.chunk_fields()
+        pred = node.pred
+        push = ""
+        if node.sel_push and pred is not None:
+            pushed = self._emit_pred_pushdown(node, locals_by_path)
+            if pushed is not None:
+                kernel, pred_fields = pushed
+                push = f", pred_fields={pred_fields!r}, pred_kernel={kernel}"
+                pred = None  # chunks arrive as dense predicate survivors
         call = (f"_rt.csv_chunks({node.source!r}, {chunk_fields!r}, "
                 f"access={node.access!r}, batch_size={node.batch_size}, "
-                f"whole={node.bind_whole!r})")
+                f"whole={node.bind_whole!r}{push})")
         self._emit_chunked_scan(node, call, names, binding.whole_local,
-                                pop_lists, chunk_fields, consume)
+                                pop_lists, chunk_fields, consume, pred=pred)
         self._emit_populate_finalizer(node, pop_lists)
+
+    def _emit_pred_pushdown(self, node: PhysScan,
+                            locals_by_path: dict[str, str]):
+        """Selection pushdown (late materialization): emit the predicate as
+        a standalone kernel function over its columns; the plugin runs it
+        right after navigating those columns and materialises the remaining
+        columns only for the surviving row indexes."""
+        src = compile_expr(node.pred, self.ctx)
+        used = [f for f in node.fields if _name_used(src, locals_by_path[f])]
+        if not used:
+            return None
+        w = self.w
+        kernel = self._next("pk")
+        params = [f"_pc{i}" for i in range(len(used))]
+        targets = [locals_by_path[f] for f in used]
+        with w.block(f"def {kernel}({', '.join(params)}):"):
+            if len(params) == 1:
+                w.emit(f"return [_i for _i, {targets[0]} in "
+                       f"enumerate({params[0]}) if {src}]")
+            else:
+                w.emit(f"return [_i for _i, ({', '.join(targets)}) in "
+                       f"enumerate(zip({', '.join(params)})) if {src}]")
+        return kernel, tuple(used)
 
     def _emit_json_scan(self, node: PhysScan, consume) -> None:
         w = self.w
@@ -803,6 +1105,10 @@ class QueryCompiler:
 
     def _emit_hash_join(self, node: PhysHashJoin, consume) -> None:
         w = self.w
+        # a root fold aimed at this join's output fuses into the probe sink;
+        # it must never leak into the build/probe scan emitters themselves
+        fold = self._fold
+        self._fold = None
         ht = self._next("ht")
         w.emit(f"{ht} = {{}}")
         if isinstance(node.build, PhysScan) and node.build.parallel > 1:
@@ -810,18 +1116,37 @@ class QueryCompiler:
             # morsels, merged per key in morsel order by the coordinator
             self._par_regions[id(node.build)] = _BuildRegion(ht)
 
-        def build_consume():
-            locals_list = self._binding_locals(node.build.bound_vars())
-            row = ", ".join(locals_list) + ("," if len(locals_list) == 1 else "")
-            w.emit(f"_k = {self._join_key(node.build_keys)}")
-            w.emit(f"_b = {ht}.get(_k)")
-            with w.block("if _b is None:"):
-                w.emit(f"{ht}[_k] = [({row})]")
-            with w.block("else:"):
-                w.emit(f"_b.append(({row}))")
+        if self._sinkable(node.build):
+            # vectorized build: key-column kernel + bulk dict inserts
+            self._chunk_sink = _BuildSink(ht, node)
+            try:
+                self._emit_node(node.build, None)
+            finally:
+                self._chunk_sink = None
+        else:
+            def build_consume():
+                locals_list = self._binding_locals(node.build.bound_vars())
+                row = ", ".join(locals_list) + ("," if len(locals_list) == 1 else "")
+                w.emit(f"_k = {self._join_key(node.build_keys)}")
+                w.emit(f"_b = {ht}.get(_k)")
+                with w.block("if _b is None:"):
+                    w.emit(f"{ht}[_k] = [({row})]")
+                with w.block("else:"):
+                    w.emit(f"_b.append(({row}))")
 
-        self._emit_node(node.build, build_consume)
+            self._emit_node(node.build, build_consume)
         build_locals = self._binding_locals(node.build.bound_vars())
+
+        if self._sinkable(node.probe):
+            # vectorized probe: batched key lookups → matched-selection
+            # vector; the fused root fold (if any) folds the survivors
+            self._chunk_sink = _ProbeSink(ht, node, build_locals, consume,
+                                          fold)
+            try:
+                self._emit_node(node.probe, consume)
+            finally:
+                self._chunk_sink = None
+            return
 
         def probe_consume():
             matches = self._next("mt")

@@ -27,11 +27,18 @@ class JITStats:
 
 
 class JITExecutor:
-    """Compiles plans to Python functions; caches compilations (true LRU)."""
+    """Compiles plans to Python functions; caches compilations (true LRU).
 
-    def __init__(self, catalog, max_cached: int = 256):
+    ``vector_filters`` is forwarded to the compiler: True (default) emits
+    selection-vector filter kernels and vectorized join build/probe; False
+    restores row-at-a-time evaluation (the differential/benchmark baseline).
+    """
+
+    def __init__(self, catalog, max_cached: int = 256,
+                 vector_filters: bool = True):
         self.catalog = catalog
         self.max_cached = max_cached
+        self.vector_filters = vector_filters
         # insertion-ordered dict used as an LRU: hits move to the end, so
         # the front is always the least-recently-used entry
         self._compiled: dict[str, CompiledQuery] = {}
@@ -44,7 +51,8 @@ class JITExecutor:
             self._compiled[key] = hit  # move-to-end: hot keys survive eviction
             self.stats.cache_hits += 1
             return hit
-        compiled = QueryCompiler(self.catalog).compile(plan)
+        compiled = QueryCompiler(
+            self.catalog, vector_filters=self.vector_filters).compile(plan)
         self.stats.compilations += 1
         if len(self._compiled) >= self.max_cached:
             self._compiled.pop(next(iter(self._compiled)))

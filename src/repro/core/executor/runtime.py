@@ -32,6 +32,8 @@ class ExecStats:
     cache_sources: set = field(default_factory=set)
     cleaned_rows: int = 0
     skipped_rows: int = 0
+    #: morsels cancelled unstarted because a LIMIT was already satisfied
+    morsels_cancelled: int = 0
 
     @property
     def cache_only(self) -> bool:
@@ -78,12 +80,19 @@ class QueryRuntime:
         cache: DataCache,
         cleaning: dict | None = None,
         devices: dict | None = None,
+        row_limit: int | None = None,
     ):
         self.catalog = catalog
         self.cache = cache
         self.cleaning = cleaning or {}
         self.devices = devices or {}
         self.stats = ExecStats()
+        #: SQL LIMIT (or query(limit=...)) — lets LIMIT-countable parallel
+        #: folds stop consuming morsels once enough rows are in hand
+        self.row_limit = row_limit
+        #: True once a limited scan stopped early: the query saw a prefix of
+        #: the source, so cache admissions must be suppressed
+        self.truncated = False
         # morsel-parallel scans: stats flushes, cleaning-policy calls and
         # cache admissions from worker threads serialise on this lock
         self._lock = threading.Lock()
@@ -104,10 +113,39 @@ class QueryRuntime:
 
     # -- morsel-parallel scan protocol ------------------------------------------
 
-    def run_morsels(self, kernel, morsels: list, dop: int) -> list:
+    def run_morsels(self, kernel, morsels: list, dop: int,
+                    limited: bool = False) -> list:
         """Fan per-morsel kernels out over the scheduler; partials return in
-        morsel order so callers merge deterministically."""
-        return MorselScheduler(dop).map(kernel, morsels)
+        morsel order so callers merge deterministically.
+
+        ``limited`` marks a LIMIT-countable fold (``bag``/``list`` driver):
+        each partial's first element is its ordered output-row list, so once
+        the morsel-ordered prefix carries ``row_limit`` rows the scheduler
+        stops consuming and cancels pending morsels — the merged prefix
+        holds the same first ``row_limit`` rows a full run would return.
+        """
+        stop = None
+        if limited and self.row_limit is not None:
+            target = self.row_limit
+            seen = 0
+
+            def stop(partial):
+                nonlocal seen
+                seen += len(partial[0])
+                return seen >= target
+
+        scheduler = MorselScheduler(dop)
+        partials = scheduler.map(kernel, morsels, stop=stop)
+        if len(partials) < len(morsels):
+            # the query saw a prefix of the scan: suppress cache admission
+            # (and posmap adoption skips the holes via finish_scan's guard).
+            # In-flight morsels drain with their results discarded; only the
+            # truly-unstarted ones count as cancelled.
+            self.truncated = True
+            if scheduler.cancelled:
+                with self._lock:
+                    self.stats.morsels_cancelled += scheduler.cancelled
+        return partials
 
     def account_raw(self, source: str) -> None:
         """File-level raw accounting for a parallel scan, charged once by
@@ -117,23 +155,33 @@ class QueryRuntime:
             self.stats.raw_sources.add(source)
             self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
 
+    #: split multiplier for LIMIT-countable parallel folds: finer morsels
+    #: mean the scheduler can stop sooner once the limit is satisfied
+    LIMIT_OVERSPLIT = 4
+
     def scan_splits(self, source: str, dop: int, access: str = "cold",
-                    fields: tuple = (), whole: bool = False) -> list:
+                    fields: tuple = (), whole: bool = False,
+                    limited: bool = False) -> list:
         """Morsels for a parallel scan of ``source`` (at most ``dop``).
 
         Cache scans split into row ranges over the (single, memoised)
         lookup; raw formats delegate to the plugin's splittable-range
         contract; anything else degrades to the single-morsel plan.
+        ``limited`` + an active row limit over-partitions (more morsels than
+        workers) so early termination has pending morsels to cancel.
         """
+        parts = dop
+        if limited and self.row_limit is not None:
+            parts = dop * self.LIMIT_OVERSPLIT
         if access == "cache":
             data, _layout = self._cache_scan_once(source, tuple(fields), whole)
             count = len(data) if whole else (len(data[0]) if data else 0)
-            return split_ranges(count, dop, "rows")
+            return split_ranges(count, parts, "rows")
         plugin = self.catalog.get(source).plugin
         splits = getattr(plugin, "scan_splits", None)
         if splits is None:
             return [MORSEL_ALL]
-        return splits(dop)
+        return splits(parts)
 
     def finish_scan(self, source: str, splits: list) -> None:
         """Coordinator epilogue of a parallel scan: merge auxiliary-structure
@@ -207,10 +255,16 @@ class QueryRuntime:
 
         Whole column batches go straight into the cache — no per-row tuple
         round-trip (the batch pipeline's population lists are adopted as-is).
+        A LIMIT-truncated execution saw only a prefix of the source, so
+        nothing is admitted (a partial column must never pose as complete).
         """
+        if self.truncated:
+            return
         self.cache.put_columns(source, fields, columns)
 
     def admit_elements(self, source: str, layout: str, elements: list) -> None:
+        if self.truncated:
+            return
         self.cache.put(source, layout, (), elements)
 
     # -- chunked scan protocol (shared by both engines) ------------------------
@@ -251,13 +305,20 @@ class QueryRuntime:
         batch_size: int = DEFAULT_BATCH_SIZE,
         whole: bool = False,
         split=None,
+        pred_fields: tuple = (),
+        pred_kernel=None,
     ):
         """Batched CSV scan: converted column chunks with piggybacked
         positional-map population (cold) and batch-level cleaning.
 
         With ``split`` the scan covers one morsel: file-level accounting is
         the coordinator's job (:meth:`account_raw`), row/cleaning counters
-        accumulate locally and flush under the runtime lock once."""
+        accumulate locally and flush under the runtime lock once.
+
+        ``pred_fields``/``pred_kernel`` forward a selection-pushdown filter
+        to the plugin's warm navigated path (late materialization); chunks
+        then arrive as dense predicate survivors with ``Chunk.scanned``
+        carrying the physical row count for accounting."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
         clean = self.cleaning.get(source)
@@ -274,8 +335,10 @@ class QueryRuntime:
             for chunk in plugin.scan_chunks(
                 fields, batch_size=batch_size, device=self.device_for(source),
                 clean=clean, whole=whole, access=access,
+                pred_fields=pred_fields, pred_kernel=pred_kernel,
             ):
-                count += chunk.length
+                count += chunk.scanned if chunk.scanned is not None \
+                    else chunk.selected_length
                 yield chunk
             # rows the cleaning policy dropped were still physically scanned
             self.stats.raw_rows += count + (self.stats.skipped_rows - skipped_before)
@@ -293,8 +356,10 @@ class QueryRuntime:
             fields, batch_size=batch_size, device=self.device_for(source),
             clean=clean, whole=whole, access=access, split=split,
             posmap_partial=partial,
+            pred_fields=pred_fields, pred_kernel=pred_kernel,
         ):
-            count += chunk.length
+            count += chunk.scanned if chunk.scanned is not None \
+                else chunk.selected_length
             yield chunk
         with self._lock:
             self.stats.raw_rows += count + local.skipped_rows
@@ -321,7 +386,7 @@ class QueryRuntime:
         for chunk in plugin.scan_chunks(paths, batch_size=batch_size,
                                         device=self.device_for(source),
                                         whole=whole, split=split):
-            count += chunk.length
+            count += chunk.selected_length
             yield chunk
         if split is None:
             self.stats.raw_rows += count
@@ -346,7 +411,7 @@ class QueryRuntime:
         for chunk in entry.plugin.scan_chunks(fields, batch_size=batch_size,
                                               device=self.device_for(source),
                                               whole=whole, split=split):
-            count += chunk.length
+            count += chunk.selected_length
             yield chunk
         if split is None:
             self.stats.raw_rows += count
@@ -371,7 +436,7 @@ class QueryRuntime:
                                               batch_size=batch_size,
                                               device=self.device_for(source),
                                               whole=whole):
-            count += chunk.length
+            count += chunk.selected_length
             yield chunk
         self.stats.raw_rows += count
 
@@ -436,7 +501,7 @@ class QueryRuntime:
         count = 0
         for chunk in plugin.scan_chunks(fields or None, batch_size=batch_size,
                                         whole=whole):
-            count += chunk.length
+            count += chunk.selected_length
             yield chunk
         self.stats.cache_rows += count
 

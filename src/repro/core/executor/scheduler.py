@@ -17,6 +17,12 @@ first-occurrence dedup, and per-key hash-join build order.
 Failure contract: the first morsel exception fails the whole query. Pending
 morsels are cancelled; already-running workers finish (their results are
 discarded) so shutdown never hangs.
+
+Early-termination contract: an optional ``stop`` predicate sees each partial
+in morsel order; once it returns True the scheduler stops consuming, cancels
+every still-pending morsel, and returns the ordered prefix — the mechanism
+behind parallel SQL ``LIMIT`` cutting a scan short without changing which
+rows are returned.
 """
 
 from __future__ import annotations
@@ -40,16 +46,40 @@ class MorselScheduler:
         if dop < 1:
             raise ValueError(f"degree of parallelism must be >= 1, got {dop}")
         self.dop = dop
+        #: morsels cancelled before they started (early termination)
+        self.cancelled = 0
 
-    def map(self, kernel, morsels: list[Morsel]) -> list:
+    def map(self, kernel, morsels: list[Morsel], stop=None) -> list:
+        """Run kernels over ``morsels``; return partials in morsel order.
+
+        ``stop(partial)``, checked as each partial is consumed in morsel
+        order, ends the run early when it returns True: pending morsels are
+        cancelled (counted in ``self.cancelled``), in-flight ones drain with
+        their results discarded, and the ordered prefix is returned.
+        """
+        self.cancelled = 0
         if self.dop <= 1 or len(morsels) <= 1:
-            return [kernel(m) for m in morsels]
+            results = []
+            for i, m in enumerate(morsels):
+                results.append(kernel(m))
+                if stop is not None and stop(results[-1]):
+                    self.cancelled = len(morsels) - i - 1
+                    break
+            return results
         workers = min(self.dop, len(morsels))
         with ThreadPoolExecutor(max_workers=workers,
                                 thread_name_prefix="vida-morsel") as pool:
             futures = [pool.submit(kernel, m) for m in morsels]
             try:
-                return [f.result() for f in futures]
+                results = []
+                for i, f in enumerate(futures):
+                    results.append(f.result())
+                    if stop is not None and stop(results[-1]):
+                        for pending in futures[i + 1:]:
+                            if pending.cancel():
+                                self.cancelled += 1
+                        break
+                return results
             except BaseException:
                 # fail fast: drop queued morsels; running ones drain on
                 # pool shutdown (no result is consumed), then re-raise the

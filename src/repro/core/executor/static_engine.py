@@ -19,6 +19,7 @@ from typing import Iterator
 from ...errors import ExecutionError
 from ...mcc import ast as A
 from ...mcc.monoids import Monoid, get_monoid
+from ..chunk import chunked
 from ..codegen.helpers import HELPERS, get_path, hashable, like
 from ..physical import (
     PhysExprScan,
@@ -251,9 +252,12 @@ class StaticExecutor:
             req_fields, req_whole = (), True
         else:
             req_fields, req_whole = driver.fields, False
+        # bag/list folds are LIMIT-countable: over-partition so the
+        # scheduler can cancel pending morsels once the limit is satisfied
+        limited = m.name in ("bag", "list")
         splits = rt.scan_splits(driver.source, driver.parallel,
                                 access=driver.access, fields=req_fields,
-                                whole=req_whole)
+                                whole=req_whole, limited=limited)
 
         def worker(split):
             acc = m.zero()
@@ -269,7 +273,8 @@ class StaticExecutor:
                     acc = m.merge(acc, m.lift(head))
             return acc, pop
 
-        partials = rt.run_morsels(worker, splits, driver.parallel)
+        partials = rt.run_morsels(worker, splits, driver.parallel,
+                                  limited=limited)
         if driver.access != "cache":
             rt.finish_scan(driver.source, splits)
         acc = m.zero()
@@ -295,18 +300,26 @@ class StaticExecutor:
             if isinstance(node, (PhysFilter, PhysUnnest)):
                 node = node.child
             elif isinstance(node, PhysHashJoin):
-                table: dict = {}
-                for env in self._iter(node.build, rt):
-                    key = tuple(hashable(eval_expr(k, env, rt))
-                                for k in node.build_keys)
-                    table.setdefault(key, []).append(env)
-                shared[id(node)] = table
+                shared[id(node)] = self._build_table(node, rt)
                 node = node.probe
             elif isinstance(node, PhysNLJoin):
                 shared[id(node)] = list(self._iter(node.inner, rt))
                 node = node.outer
             else:
                 return
+
+    def _build_table(self, node: PhysHashJoin, rt) -> dict:
+        """Vectorized hash-join build: materialise the build rows, run one
+        key kernel over them, then bulk-insert (mirrors the JIT engine's
+        key-column kernel + dict-update loop)."""
+        envs = list(self._iter(node.build, rt))
+        keys = [tuple(hashable(eval_expr(k, env, rt)) for k in node.build_keys)
+                for env in envs]
+        table: dict = {}
+        setdef = table.setdefault
+        for key, env in zip(keys, envs):
+            setdef(key, []).append(env)
+        return table
 
     # -- operators ------------------------------------------------------------
 
@@ -334,16 +347,24 @@ class StaticExecutor:
         elif isinstance(node, PhysHashJoin):
             table = shared.get(id(node)) if shared is not None else None
             if table is None:
-                table = {}
-                for env in self._iter(node.build, rt):
-                    key = tuple(hashable(eval_expr(k, env, rt)) for k in node.build_keys)
-                    table.setdefault(key, []).append(env)
-            for env in self._iter(node.probe, rt, split, shared, pop):
-                key = tuple(hashable(eval_expr(k, env, rt)) for k in node.probe_keys)
-                for build_env in table.get(key, ()):
-                    joined = {**build_env, **env}
-                    if node.residual is None or eval_expr(node.residual, joined, rt):
-                        yield joined
+                table = self._build_table(node, rt)
+            # vectorized probe: batch the probe stream, run one key kernel
+            # per batch, narrow a matched-selection vector (empty vectors
+            # short-circuit), then join only the survivors
+            probe_keys = node.probe_keys
+            residual = node.residual
+            for batch in chunked(self._iter(node.probe, rt, split, shared, pop)):
+                keys = [tuple(hashable(eval_expr(k, env, rt))
+                              for k in probe_keys) for env in batch]
+                matched = [i for i, key in enumerate(keys) if key in table]
+                if not matched:
+                    continue
+                for i in matched:
+                    env = batch[i]
+                    for build_env in table[keys[i]]:
+                        joined = {**build_env, **env}
+                        if residual is None or eval_expr(residual, joined, rt):
+                            yield joined
         elif isinstance(node, PhysNLJoin):
             if shared is not None and id(node) in shared:
                 inner_rows = shared[id(node)]
@@ -381,11 +402,23 @@ class StaticExecutor:
     def _scan(self, node: PhysScan, rt, split=None, pop=None) -> Iterator[Env]:
         entry = self.catalog.get(node.source)
         fmt = entry.format
+        pred = node.pred
+        if isinstance(pred, A.Const) and pred.value is True:
+            pred = None
 
         def emit(value) -> Iterator[Env]:
             env = {node.var: value}
-            if node.pred is None or eval_expr(node.pred, env, rt):
+            if pred is None or eval_expr(pred, env, rt):
                 yield env
+
+        def filter_batch(envs: list) -> list:
+            """Per-chunk predicate kernel: one comprehension narrowing the
+            batch's surviving rows (empty result short-circuits the chunk
+            at the call site). Selection vectors carried by the chunk were
+            already honoured by the selection-aware iteration helpers."""
+            if pred is None:
+                return envs
+            return [env for env in envs if eval_expr(pred, env, rt)]
 
         def flush_populate(populate: dict, whole_pop: list | None = None) -> None:
             # morsel workers hand their population share to the coordinator
@@ -404,6 +437,7 @@ class StaticExecutor:
                 rt.admit_columns(node.source, fields,
                                  tuple(populate[f] for f in fields))
 
+        var = node.var
         if node.access == "memory" or entry.data is not None:
             for item in rt.memory(node.source):
                 yield from emit(item)
@@ -412,29 +446,47 @@ class StaticExecutor:
             if node.bind_whole or not node.fields:
                 for chunk in rt.cache_chunks(node.source, (), whole=True,
                                              split=split):
-                    for obj in chunk.whole:
-                        yield from emit(obj)
+                    kept = filter_batch([{var: obj}
+                                         for obj in chunk.iter_whole()])
+                    if not kept:
+                        continue
+                    yield from kept
                 return
             for chunk in rt.cache_chunks(node.source, node.fields, whole=False,
                                          split=split):
-                for values in chunk.iter_rows():
-                    yield from emit(_record_from_paths(node.fields, values))
+                kept = filter_batch(
+                    [{var: _record_from_paths(node.fields, values)}
+                     for values in chunk.iter_rows()])
+                if not kept:
+                    continue
+                yield from kept
             return
         if fmt == "csv":
             scan_fields = node.chunk_fields()
             populate: dict[str, list] = {f: [] for f in node.populate}
+            pred_fields: tuple = ()
+            pred_kernel = None
+            if node.sel_push and pred is not None:
+                pushed = _interpreted_pred_kernel(node, pred, rt)
+                if pushed is not None:
+                    pred_fields, pred_kernel = pushed
+                    pred = None  # chunks arrive as dense predicate survivors
             for chunk in rt.csv_chunks(node.source, scan_fields,
                                        access=node.access,
                                        batch_size=node.batch_size,
-                                       whole=node.bind_whole, split=split):
+                                       whole=node.bind_whole, split=split,
+                                       pred_fields=pred_fields,
+                                       pred_kernel=pred_kernel):
                 _extend_populate(populate, chunk, scan_fields)
                 if node.bind_whole:
-                    for record in chunk.whole:
-                        yield from emit(record)
+                    envs = [{var: record} for record in chunk.iter_whole()]
                 else:
-                    for values in chunk.iter_rows():
-                        record = dict(zip(scan_fields, values))
-                        yield from emit(record)
+                    envs = [{var: dict(zip(scan_fields, values))}
+                            for values in chunk.iter_rows()]
+                kept = filter_batch(envs)
+                if not kept:
+                    continue
+                yield from kept
             if node.populate:
                 flush_populate(populate)
             return
@@ -447,9 +499,11 @@ class StaticExecutor:
                                         split=split):
                 _extend_populate(populate, chunk, scalar_pop)
                 if node.populate == ("*",):
-                    whole_pop.extend(chunk.whole)
-                for obj in chunk.whole:
-                    yield from emit(obj)
+                    whole_pop.extend(chunk.iter_whole())
+                kept = filter_batch([{var: obj} for obj in chunk.iter_whole()])
+                if not kept:
+                    continue
+                yield from kept
             if node.populate:
                 flush_populate(populate, whole_pop)
             return
@@ -460,8 +514,11 @@ class StaticExecutor:
                                          batch_size=node.batch_size, whole=True,
                                          split=split):
                 _extend_populate(populate, chunk, scan_fields)
-                for record in chunk.whole:
-                    yield from emit(record)
+                kept = filter_batch([{var: record}
+                                     for record in chunk.iter_whole()])
+                if not kept:
+                    continue
+                yield from kept
             if node.populate:
                 flush_populate(populate)
             return
@@ -471,8 +528,11 @@ class StaticExecutor:
             for chunk in rt.xls_chunks(node.source, scan_fields,
                                        batch_size=node.batch_size, whole=True):
                 _extend_populate(populate, chunk, scan_fields)
-                for record in chunk.whole:
-                    yield from emit(record)
+                kept = filter_batch([{var: record}
+                                     for record in chunk.iter_whole()])
+                if not kept:
+                    continue
+                yield from kept
             if node.populate:
                 flush_populate(populate)
             return
@@ -488,21 +548,54 @@ class StaticExecutor:
             for chunk in rt.dbms_chunks(node.source, fields,
                                         batch_size=node.batch_size, whole=whole):
                 if chunk.whole is not None:
-                    for record in chunk.whole:
-                        yield from emit(record)
+                    envs = [{var: record} for record in chunk.iter_whole()]
                 else:
-                    for values in chunk.iter_rows():
-                        yield from emit(dict(zip(fields, values)))
+                    envs = [{var: dict(zip(fields, values))}
+                            for values in chunk.iter_rows()]
+                kept = filter_batch(envs)
+                if not kept:
+                    continue
+                yield from kept
             return
         raise ExecutionError(f"no interpreted scan for format {fmt!r}")
 
 
+def _interpreted_pred_kernel(node: PhysScan, pred: A.Expr, rt):
+    """Selection-pushdown kernel for the interpreted engine: evaluates the
+    scan predicate over the predicate columns only, returning surviving row
+    indexes (the plugin materialises the other columns just for those)."""
+    from ..physical import collect_usage
+
+    usage = collect_usage(pred).get(node.var)
+    if usage is None or usage.whole:
+        return None
+    fields = tuple(f for f in node.fields if f in usage.top_fields())
+    if not fields:
+        return None
+    var = node.var
+
+    def kernel(*cols):
+        if len(cols) == 1:
+            name = fields[0]
+            return [i for i, v in enumerate(cols[0])
+                    if eval_expr(pred, {var: {name: v}}, rt)]
+        return [i for i, vals in enumerate(zip(*cols))
+                if eval_expr(pred, {var: dict(zip(fields, vals))}, rt)]
+
+    return fields, kernel
+
+
 def _extend_populate(populate: dict, chunk, chunk_fields: tuple) -> None:
-    """Accumulate cache-population columns, one whole-column extend per chunk."""
+    """Accumulate cache-population columns, one whole-column extend per chunk.
+
+    Uses the selection-compacted columns so rows a cleaning policy dropped
+    never reach the cache.
+    """
     if not populate:
         return
+    cols = chunk.selected_columns()
     for f, acc in populate.items():
-        acc.extend(chunk.columns[chunk_fields.index(f)])
+        acc.extend(cols[chunk_fields.index(f)])
 
 
 def _record_from_paths(paths: tuple, values: tuple) -> dict:

@@ -65,6 +65,7 @@ class PlanDecisions:
     populate: dict[str, tuple] = field(default_factory=dict)    # var → cached fields
     batch: dict[str, int] = field(default_factory=dict)         # var → rows per chunk
     parallel: dict[str, int] = field(default_factory=dict)      # var → morsel DoP
+    filters: dict[str, str] = field(default_factory=dict)       # var → vec | row
     cache_served: bool = False
     notes: list[str] = field(default_factory=list)
 
@@ -80,6 +81,9 @@ class PlanDecisions:
         if self.parallel:
             out += " parallel[" + ", ".join(
                 f"{v}:{n}" for v, n in self.parallel.items()) + "]"
+        if self.filters:
+            out += " filter[" + ", ".join(
+                f"{v}:{k}" for v, k in self.filters.items()) + "]"
         for note in self.notes:
             out += f"\n  note: {note}"
         return out
@@ -115,6 +119,8 @@ class Planner:
         batch_size: int | None = None,
         parallelism: int = 1,
         serial_sources: frozenset | set | None = None,
+        cleaning_sources: frozenset | set | None = None,
+        vector_filters: bool = True,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
@@ -127,6 +133,11 @@ class Planner:
         self.parallelism = parallelism
         #: sources that must stay serial (e.g. charged to a simulated device)
         self.serial_sources = frozenset(serial_sources or ())
+        #: sources with a scan-time cleaning policy (no selection pushdown:
+        #: the predicate must see repaired values, so filters stay in-engine)
+        self.cleaning_sources = frozenset(cleaning_sources or ())
+        #: selection-vector execution on (session flag); gates sel_push
+        self.vector_filters = vector_filters
 
     # -- public -----------------------------------------------------------
 
@@ -398,12 +409,22 @@ class Planner:
             index_eq = None
             if entry.format == "dbms":
                 index_eq = self._index_pushdown(u, entry, decisions)
-            return PhysScan(
+            scan = PhysScan(
                 source=u.node.source, var=u.var, format=entry.format,
                 fields=u.fields, access=u.access, bind_whole=u.whole,
                 populate=u.populate, populate_layout=u.populate_layout,
                 pred=pred, index_eq=index_eq, batch_size=u.batch_size,
+                sel_push=self._sel_push(u, entry, pred),
+                vec_filter=self.vector_filters,
             )
+            if scan.pred is not None:
+                if scan.sel_push:
+                    decisions.filters[u.var] = "vec+push"
+                else:
+                    decisions.filters[u.var] = \
+                        "vec" if scan.vectorized_filter() else "row"
+            return scan
+
         if u.kind == "expr":
             return PhysExprScan(u.node.expr, u.var, pred=pred)
         if u.kind == "nest":
@@ -417,6 +438,24 @@ class Planner:
                 return PhysFilter(phys, pred)
             return phys
         raise PlanningError(f"unexpected leaf kind {u.kind!r}")
+
+    def _sel_push(self, u: _Unit, entry, pred) -> bool:
+        """Push the selection vector into the scan itself (late
+        materialization): warm CSV scans navigate the predicate columns
+        first and materialise the rest only for surviving rows. Requires
+        dense scalar extraction (no whole binding), no cache population
+        (the cache needs full columns) and no cleaning policy (the
+        predicate must see repaired values)."""
+        return (
+            self.vector_filters
+            and pred is not None
+            and entry.format == "csv"
+            and u.access == "warm"
+            and not u.whole
+            and bool(u.fields)
+            and not u.populate
+            and entry.name not in self.cleaning_sources
+        )
 
     def _index_pushdown(self, u: _Unit, entry, decisions: PlanDecisions):
         """Use a store index for an equality conjunct on an indexed field.

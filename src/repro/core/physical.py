@@ -137,6 +137,15 @@ class PhysScan(PhysNode):
     index_eq: tuple | None = None
     batch_size: int = DEFAULT_BATCH_SIZE
     parallel: int = 1
+    #: selection pushdown into the scan itself (late materialization): the
+    #: plugin evaluates the predicate kernel on the predicate columns and
+    #: materialises the remaining columns only for surviving rows. Planner
+    #: sets it for warm CSV scans with no cleaning/population/whole-binding.
+    sel_push: bool = False
+    #: session-level vectorized-filter switch, recorded by the planner so
+    #: EXPLAIN reflects the strategy that will actually run
+    #: (``ViDa(vector_filters=False)`` compiles row-at-a-time tests)
+    vec_filter: bool = True
 
     def bound_vars(self):
         return (self.var,)
@@ -150,6 +159,21 @@ class PhysScan(PhysNode):
         return tuple(self.fields) + tuple(
             f for f in self.populate if f != "*" and f not in self.fields
         )
+
+    def chunked(self) -> bool:
+        """True when this scan moves data over the chunk protocol (and so
+        can evaluate its predicate as a selection-vector kernel)."""
+        if self.format == "memory" or self.access == ACCESS_MEMORY:
+            return False
+        if self.format == "dbms" and self.index_eq is not None:
+            return False
+        return True
+
+    def vectorized_filter(self) -> bool:
+        """True when the pushed-down predicate runs as a per-chunk
+        selection-vector kernel instead of a per-row test (EXPLAIN's
+        ``filter=vec``)."""
+        return self.pred is not None and self.chunked() and self.vec_filter
 
 
 @dataclass
@@ -301,6 +325,12 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
             extras.append(f"populate=[{', '.join(node.populate)}]->{node.populate_layout}")
         if node.pred is not None:
             extras.append(f"pred={pretty(node.pred)}")
+            if node.sel_push:
+                extras.append("filter=vec+push")
+            else:
+                extras.append(
+                    "filter=vec" if node.vectorized_filter() else "filter=row"
+                )
         if node.index_eq is not None:
             extras.append(f"index[{node.index_eq[0]}={node.index_eq[1]!r}]")
         return f"{pad}Scan({node.source} as {node.var}; {', '.join(extras)})"

@@ -62,6 +62,8 @@ class QueryStats:
     cache_only: bool = False
     cleaned_rows: int = 0
     skipped_rows: int = 0
+    #: morsels a parallel LIMIT cut short (early-termination observability)
+    morsels_cancelled: int = 0
 
 
 @dataclass
@@ -92,6 +94,7 @@ class ViDa:
         enable_posmap: bool = True,
         batch_size: int | None = None,
         parallelism: int = 1,
+        vector_filters: bool = True,
     ):
         if default_engine not in ("jit", "static"):
             raise ViDaError(f"unknown engine {default_engine!r} (jit | static)")
@@ -109,9 +112,13 @@ class ViDa:
         #: morsel worker budget for parallel scans (1 = serial, the default;
         #: the planner still decides per scan whether sharding pays off)
         self.parallelism = parallelism
+        #: selection-vector filter kernels + vectorized join build/probe in
+        #: generated code (True); False keeps row-at-a-time evaluation — the
+        #: differential baseline bench_filtered_scan measures against
+        self.vector_filters = vector_filters
         self.cleaning: dict[str, object] = {}
         self.devices: dict[str, object] = {}
-        self._jit = JITExecutor(self.catalog)
+        self._jit = JITExecutor(self.catalog, vector_filters=vector_filters)
         self._static = StaticExecutor(self.catalog)
         self.query_log: list[QueryStats] = []
         # prepared-statement cache: query text → (parsed, normalized) AST.
@@ -204,8 +211,10 @@ class ViDa:
             if not self.catalog.check_freshness(src):
                 self.cache.invalidate_source(src)
 
+        row_limit = limit if isinstance(limit, int) and limit >= 0 else None
         runtime = QueryRuntime(self.catalog, self.cache if self.enable_cache
-                               else DataCache(0), self.cleaning, self.devices)
+                               else DataCache(0), self.cleaning, self.devices,
+                               row_limit=row_limit)
 
         if not isinstance(norm, A.Comprehension):
             # Merge-of-comprehensions / constant expressions: interpret.
@@ -296,7 +305,9 @@ class ViDa:
                        enable_posmap=self.enable_posmap,
                        batch_size=self.batch_size,
                        parallelism=parallelism,
-                       serial_sources=frozenset(self.devices))
+                       serial_sources=frozenset(self.devices),
+                       cleaning_sources=frozenset(self.cleaning),
+                       vector_filters=self.vector_filters)
 
     def _fill_exec_stats(self, stats: QueryStats, runtime: QueryRuntime) -> None:
         es = runtime.stats
@@ -306,6 +317,7 @@ class ViDa:
         stats.cache_only = es.cache_only
         stats.cleaned_rows = es.cleaned_rows
         stats.skipped_rows = es.skipped_rows
+        stats.morsels_cancelled = es.morsels_cancelled
 
     @staticmethod
     def _apply_limit(value, limit: int | None):

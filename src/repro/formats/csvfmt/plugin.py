@@ -421,6 +421,8 @@ class CSVSource:
         access: str | None = None,
         split=None,
         posmap_partial: PositionalMap | None = None,
+        pred_fields: Sequence[str] | None = None,
+        pred_kernel=None,
     ):
         """Batched scan: yield :class:`~repro.core.chunk.Chunk` objects.
 
@@ -435,6 +437,14 @@ class CSVSource:
         piggyback population into ``posmap_partial`` (a fresh per-worker map
         from :meth:`new_posmap_partial`); the scan coordinator merges the
         partials in morsel order via :meth:`adopt_posmap_partials`.
+
+        ``pred_kernel`` + ``pred_fields`` push the selection vector into the
+        scan (late materialization, warm navigated path only): the kernel —
+        a callable over the predicate columns returning surviving row
+        indexes — runs right after the predicate columns are navigated, an
+        empty vector skips the batch, and the remaining columns materialise
+        *only at the surviving indexes*. Yielded chunks are dense survivors;
+        ``Chunk.scanned`` preserves the physical row count for accounting.
         """
         from ...core.chunk import Chunk
 
@@ -480,11 +490,37 @@ class CSVSource:
         # wide) line. Whole-row binding and cleaning need the full cell list.
         navigate = (access == "warm" and self.posmap.complete and not whole
                     and bool(cols) and clean is None)
+        push = navigate and pred_kernel is not None and pred_fields
+        if push:
+            pred_cols = self.field_indexes(list(pred_fields))
+            pred_pos = {c: i for i, c in enumerate(pred_cols)}
         for start, lines in self.iter_line_batches(batch_size, device=device,
                                                    record_anchors=record_anchors,
                                                    byte_range=byte_range,
                                                    start_row=start_row,
                                                    record_map=record_map):
+            if push:
+                # late materialization: navigate predicate columns, run the
+                # selection kernel, then fetch the rest only for survivors
+                pcols = self._navigate_batch(pred_cols, lines, start)
+                sel = pred_kernel(*pcols)
+                if not sel:
+                    # account the physically scanned lines, carry no rows
+                    yield Chunk(tuple(field_list), tuple([] for _ in cols),
+                                0, scanned=len(lines))
+                    continue
+                dense = len(sel) == len(lines)
+                out: list[list] = []
+                for c in cols:
+                    if c in pred_pos:
+                        pc = pcols[pred_pos[c]]
+                        out.append(pc if dense else [pc[i] for i in sel])
+                    else:
+                        out.append(self._navigate_rows(c, lines, start, sel))
+                chunk = Chunk.from_columns(field_list, out)
+                chunk.scanned = len(lines)
+                yield chunk
+                continue
             if navigate:
                 yield Chunk.from_columns(
                     field_list, self._navigate_batch(cols, lines, start))
@@ -505,12 +541,26 @@ class CSVSource:
                 # pure-count projection: no columns, but the row count matters
                 chunk = Chunk((), (), len(cells_rows))
             if selection is not None:
-                # cleaning dropped rows: compact via the selection vector
+                # cleaning dropped rows: carry the selection vector as-is —
+                # consumers honour it (selection-aware iteration / compaction
+                # kernels), so the chunk crosses the boundary uncompacted
                 chunk.selection = selection
-                chunk = chunk.compact()
             yield chunk
         if record_anchors is not None and record_map is None:
             self.posmap.finish_population()
+
+    def _navigate_rows(self, c: int, lines: list[str], start_row: int,
+                       sel: list[int]) -> list:
+        """Navigate + convert one column at the selected row indexes only
+        (late materialization: filtered-out rows never pay conversion)."""
+        pmf = self.posmap.field_in_line
+        null_tokens = self.options.null_tokens
+        raw = [pmf(lines[i], start_row + i, c) for i in sel]
+        tname = self.types[c]
+        if tname == "string":
+            return [None if v in null_tokens else v for v in raw]
+        conv = _CONVERTERS[tname]
+        return [None if v in null_tokens else conv(v) for v in raw]
 
     def _navigate_batch(self, cols: list[int], lines: list[str],
                         start_row: int) -> list[list]:

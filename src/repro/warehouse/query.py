@@ -125,9 +125,10 @@ class ColStoreAdapter(Adapter):
 
         Each filter narrows one selection vector of surviving row indexes
         (``core.chunk.Chunk.selection``); an empty vector short-circuits
-        before any projection column is fetched, and survivors materialise
-        through one :meth:`~repro.core.chunk.Chunk.compact` — a single take
-        per projected column instead of per-row indexing (and no dense
+        before any projection column is fetched, and the uncompacted chunk
+        is handed straight to the selection-aware
+        :meth:`~repro.core.chunk.Chunk.iter_rows` — dropped rows can never
+        resurface, and nothing materialises a dense copy (no
         ``range(row_count)`` fallback when nothing filtered).
         """
         from ..core.chunk import Chunk
@@ -147,7 +148,7 @@ class ColStoreAdapter(Adapter):
         cols = [self.store.column(self.table, f) for f in names]
         length = len(cols[0]) if cols else self.store.row_count(self.table)
         chunk = Chunk(tuple(names), tuple(cols), length, selection=selection)
-        for values in chunk.compact().iter_rows():
+        for values in chunk.iter_rows():
             yield dict(zip(names, values))
 
 

@@ -62,7 +62,10 @@ def test_chunk_selection_vector_compaction():
     assert dense.column("a") == [1, 3]
     assert dense.whole == [{"i": 0}, {"i": 2}]
     assert dense.length == 2
-    assert ch.take([1]).rows() == [(2, "y")]
+    # positional take on an uncompacted chunk is ambiguous → refused
+    with pytest.raises(ValueError):
+        ch.take([1])
+    assert dense.take([1]).rows() == [(3, "z")]
 
 
 def test_chunked_batches_any_iterable():

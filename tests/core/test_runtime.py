@@ -99,7 +99,10 @@ def test_csv_chunks_cleaning_stats(catalog, tmp_path):
                      types=["int", "int"])
     rt = QueryRuntime(cat, DataCache(), cleaning={"D": SkipPolicy()})
     chunks = list(rt.csv_chunks("D", ("age",), access="cold"))
-    assert [v for c in chunks for v in c.columns[0]] == [30, 45]
+    # chunks travel uncompacted: the selection vector marks the survivors
+    # and selection-aware accessors never surface the dropped row
+    assert [v for c in chunks for v in c.selected_columns()[0]] == [30, 45]
+    assert [row for c in chunks for row in c.rows()] == [(30,), (45,)]
     assert rt.stats.skipped_rows == 1
     assert rt.stats.raw_rows == 3  # the dropped row was still scanned
 
