@@ -1,34 +1,43 @@
-"""Morsel-driven parallel scans — serial vs DoP 2/4 on cold raw scans.
+"""Morsel-driven parallel scans — thread vs process backends on cold raw data.
 
 The chunk pipeline made the columnar batch the unit of data movement; the
 morsel scheduler makes a range of batches the unit of scale-out. This
 benchmark drives the wide-CSV (Genetics, ~1000 SNP columns) and JSON
-(BrainRegions) cold scans serially and at DoP 2/4, asserting that every
-degree of parallelism returns the same answer.
+(BrainRegions) cold scans serially, on thread morsels, and on the
+process-pool backend (picklable kernel specs, one worker interpreter per
+core), asserting every configuration returns the same answer.
 
-The *speedup* assertion is capability-gated: CPython with the GIL cannot
-run the pure-Python conversion kernels of two morsels simultaneously, so
-thread-pool sharding only pays on free-threaded builds with multiple cores.
-On a GIL-ful or single-core interpreter the run reports measured timings
-(documenting the overhead) and enforces correctness only.
+The speedup assertion is **not** self-gated on the interpreter: worker
+processes sidestep the GIL, so stock CPython must show real wall-clock
+scaling. The only gate is physical — the machine must actually have >= 4
+cores for a DoP-4 run to beat serial; on smaller boxes the run reports
+measured timings and enforces correctness only. Worker spawn is a
+per-session fixed cost and is paid outside the timed region via
+``ViDa.prestart()``, matching how a long-lived session amortises it.
+
+(Scripts that drive a process-backed session must be import-safe: spawn
+workers re-import ``__main__``. Under pytest that holds automatically.)
 """
 
 import math
 import os
-import sys
 import time
 
 from repro.bench import emit, table
 from repro.core.session import ViDa
 
-
-def _parallel_capable() -> bool:
-    """True when morsel threads can actually overlap kernel execution."""
-    gil = getattr(sys, "_is_gil_enabled", lambda: True)()
-    return not gil and (os.cpu_count() or 1) >= 4
+#: DoP-4 wall-clock speedup the cold wide-CSV scan must reach on >=4 cores
+REQUIRED_SPEEDUP = 1.5
 
 
-#: (label, source registration key, query)
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+#: (label, query, source the driver scan reads)
 QUERIES = [
     ("wide CSV filter+sum",
      "for { g <- Genetics, g.snp_10 = 1 } yield sum g.snp_500"),
@@ -39,61 +48,82 @@ QUERIES = [
 ]
 
 
-def _cold_seconds(datasets, query, dop, repeats=3):
+def _cold_seconds(datasets, query, dop, backend="thread", repeats=3):
     """Average cold-scan time: a fresh session per run (no positional map,
-    no semi-index, no cache) so raw-parse work dominates, as in Table 2."""
+    no semi-index, no cache) so raw-parse work dominates, as in Table 2.
+    Process sessions prestart their worker pool before the clock starts —
+    interpreter spawn is session-lifetime overhead, not per-query work."""
     values = []
     elapsed = 0.0
     for _ in range(repeats):
-        db = ViDa(parallelism=dop, enable_cache=False)
+        db = ViDa(parallelism=dop, backend=backend, enable_cache=False)
         db.register_csv("Genetics", datasets.genetics_csv)
         db.register_json("BrainRegions", datasets.brain_json)
+        if backend == "process" and dop > 1:
+            db.prestart()
         t0 = time.perf_counter()
         values.append(db.query(query).value)
         elapsed += time.perf_counter() - t0
+        db.close()
     return elapsed / repeats, values[0]
 
 
 def test_parallel_scan_speedup(benchmark, hbp):
     datasets, _queries = hbp
 
+    # the headline scan must actually ship to worker processes
+    probe = ViDa(parallelism=4, backend="process", enable_cache=False)
+    probe.register_csv("Genetics", datasets.genetics_csv)
+    probe.register_json("BrainRegions", datasets.brain_json)
+    assert "parallel=4/process" in probe.explain(QUERIES[0][1]), \
+        "cold wide-CSV scan did not choose the process backend"
+    probe.close()
+
     def run():
         out = []
         for name, query in QUERIES:
             serial, v1 = _cold_seconds(datasets, query, 1)
-            dop2, v2 = _cold_seconds(datasets, query, 2)
-            dop4, v4 = _cold_seconds(datasets, query, 4)
-            for v in (v2, v4):
+            thread4, vt = _cold_seconds(datasets, query, 4)
+            proc2, v2 = _cold_seconds(datasets, query, 2, backend="process")
+            proc4, v4 = _cold_seconds(datasets, query, 4, backend="process")
+            for v in (vt, v2, v4):
                 if isinstance(v, float):
                     assert math.isclose(v, v1, rel_tol=1e-9)
                 else:
                     assert v == v1
-            out.append((name, serial, dop2, dop4))
+            out.append((name, serial, thread4, proc2, proc4))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
 
     rows = []
     speedups = []
-    for name, serial, dop2, dop4 in results:
-        speedups.append(serial / dop4)
-        rows.append([name, f"{serial * 1e3:.1f}", f"{dop2 * 1e3:.1f}",
-                     f"{dop4 * 1e3:.1f}", f"{serial / dop4:.2f}x"])
+    for name, serial, thread4, proc2, proc4 in results:
+        speedups.append(serial / proc4)
+        rows.append([name, f"{serial * 1e3:.1f}", f"{thread4 * 1e3:.1f}",
+                     f"{proc2 * 1e3:.1f}", f"{proc4 * 1e3:.1f}",
+                     f"{serial / proc4:.2f}x"])
+    cores = _cores()
     lines = table(
-        ["query", "serial (ms)", "DoP 2 (ms)", "DoP 4 (ms)", "speedup@4"],
+        ["query", "serial (ms)", "thread@4 (ms)", "proc@2 (ms)",
+         "proc@4 (ms)", "proc speedup@4"],
         rows,
     )
     lines.append("")
-    if _parallel_capable():
-        lines.append("runtime is parallel-capable (free-threaded, >=4 cores): "
-                     "enforcing >=1.3x at DoP 4 on the cold wide-CSV scan")
+    if cores >= 4:
+        lines.append(f"{cores} cores available: enforcing >= "
+                     f"{REQUIRED_SPEEDUP}x at process DoP 4 on the cold "
+                     "wide-CSV scan (stock CPython, GIL and all)")
     else:
-        lines.append("runtime is NOT parallel-capable (GIL or <4 cores): "
-                     "timings are informational; correctness enforced only")
-    emit("Morsel-driven parallel scans — serial vs DoP 2/4 (cold)", lines)
+        lines.append(f"only {cores} core(s) available: a DoP-4 run cannot "
+                     "physically beat serial here; timings are "
+                     "informational and correctness is enforced only")
+    emit("Morsel-driven parallel scans — thread vs process backends (cold)",
+         lines)
 
-    if _parallel_capable():
-        assert speedups[0] >= 1.3, (
-            f"cold wide-CSV scan speedup at DoP 4 was {speedups[0]:.2f}x; "
-            "expected >= 1.3x on a parallel-capable runtime"
+    if cores >= 4:
+        assert speedups[0] >= REQUIRED_SPEEDUP, (
+            f"cold wide-CSV scan speedup at process DoP 4 was "
+            f"{speedups[0]:.2f}x; expected >= {REQUIRED_SPEEDUP}x on a "
+            f"{cores}-core machine"
         )

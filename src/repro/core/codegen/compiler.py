@@ -40,6 +40,7 @@ from ..physical import (
     PhysReduce,
     PhysScan,
     PhysUnnest,
+    chain_nest,
     parallel_driver,
 )
 from .exprs import Binding, ExprContext, ObjectBinding, ScalarBinding, compile_expr
@@ -74,6 +75,19 @@ class CodeWriter:
             yield
         finally:
             self.indent -= 1
+
+    @contextmanager
+    def capture(self, indent: int):
+        """Redirect emission into a fresh line buffer (yielded) at the given
+        indent; the writer's own lines are untouched. Used to build process
+        worker bodies, which must end up as top-level module functions rather
+        than closures inside ``_vida_query``."""
+        saved_lines, saved_indent = self.lines, self.indent
+        self.lines, self.indent = [], indent
+        try:
+            yield self.lines
+        finally:
+            self.lines, self.indent = saved_lines, saved_indent
 
     def text(self) -> str:
         return "\n".join(self.lines)
@@ -237,6 +251,34 @@ class _BuildRegion:
                 w.emit("_b.extend(_rows)")
 
 
+class _NestRegion:
+    """Nest (group-by) parallel region: workers build per-key partial
+    accumulators over their morsels; the coordinator merges them per key
+    through the group monoid, in morsel order. First occurrence fixes a
+    key's position, so group order is identical to the serial scan."""
+
+    def __init__(self, groups: str, mono: str):
+        self.groups = groups
+        self.mono = mono
+
+    def result_vars(self) -> list[str]:
+        return [self.groups]
+
+    def emit_init(self, w: CodeWriter) -> None:
+        w.emit(f"{self.groups} = {{}}")
+
+    def emit_outer_init(self, w: CodeWriter) -> None:
+        pass  # the coordinator dict was initialised before the worker
+
+    def emit_merge(self, w: CodeWriter, part: str) -> None:
+        with w.block(f"for _k, _g in {part}[0].items():"):
+            w.emit(f"_b = {self.groups}.get(_k)")
+            with w.block("if _b is None:"):
+                w.emit(f"{self.groups}[_k] = _g")
+            with w.block("else:"):
+                w.emit(f"{self.groups}[_k] = {self.mono}.merge(_b, _g)")
+
+
 def _emit_fold_init(w: CodeWriter, name: str | None) -> None:
     """Accumulator initialisation for the root fold (shared by the serial
     path, the morsel workers, and the coordinator's merge prologue)."""
@@ -393,6 +435,15 @@ class QueryCompiler:
         self._chunk_sink: object | None = None
         #: id(PhysScan) → parallel region for morsel-sharded scans
         self._par_regions: dict[int, object] = {}
+        #: top-level worker function sources for process-backed scans
+        self._proc_workers: list[str] = []
+        #: deferred emission hook run at the top of the next worker body
+        #: (selection-pushdown kernels must live inside process workers)
+        self._worker_prelude = None
+        #: the PhysNest acting as the parallel shard point (bottom-most on
+        #: the driver chain) and the driver scan feeding it
+        self._nest_parallel: PhysNest | None = None
+        self._nest_driver: PhysScan | None = None
 
         self._emit_reduce(plan)
 
@@ -402,6 +453,7 @@ class QueryCompiler:
 
         parts: list[str] = []
         parts.extend(self.ctx.subqueries)
+        parts.extend(self._proc_workers)
         parts.append("def _vida_query(_rt):")
         parts.append(prelude.text())
         parts.append(self.w.text())
@@ -421,6 +473,9 @@ class QueryCompiler:
         except SyntaxError as exc:  # pragma: no cover - codegen bug guard
             raise CodegenError(f"generated code failed to compile: {exc}\n{source}") from exc
         exec(code, globals_ns)
+        # The coordinator ships this very module source to process workers
+        # (resolved as a module global at call time, never in the child).
+        globals_ns["__vida_module_source__"] = source
         return CompiledQuery(source, globals_ns["_vida_query"], plan)
 
     # -- id helpers -----------------------------------------------------------
@@ -448,9 +503,19 @@ class QueryCompiler:
 
         driver = parallel_driver(node)
         if driver is not None and driver.parallel > 1:
-            # accumulator init moves into the morsel worker; the merge
-            # prologue re-initialises the coordinator's copy
-            self._par_regions[id(driver)] = _FoldRegion(name, not specialized)
+            nest = chain_nest(node)
+            if nest is None:
+                # accumulator init moves into the morsel worker; the merge
+                # prologue re-initialises the coordinator's copy
+                self._par_regions[id(driver)] = _FoldRegion(name, not specialized)
+            else:
+                # the shard point is the bottom-most nest: workers build
+                # per-key group partials, and everything above the nest —
+                # including this root fold — runs serially at the
+                # coordinator over the merged groups
+                self._nest_parallel = nest
+                self._nest_driver = driver
+                _emit_fold_init(w, fold_name)
         else:
             _emit_fold_init(w, fold_name)
 
@@ -872,11 +937,17 @@ class QueryCompiler:
         if whole_pop_local:
             pop_vars.append(whole_pop_local)
         ret_vars = list(region.result_vars())
+        process = node.backend == "process"
         worker = self._next("mw")
-        with w.block(f"def {worker}(_split):"):
+
+        def emit_worker_body() -> None:
             region.emit_init(w)
             for lst in pop_vars:
                 w.emit(f"{lst} = []")
+            prelude_thunk = self._worker_prelude
+            if prelude_thunk is not None:
+                self._worker_prelude = None
+                prelude_thunk()
             ch = self._next("ch")
             with w.block(f"for {ch} in {call}:"):
                 self._emit_chunk_body(ch, names, whole_local, pred,
@@ -886,6 +957,28 @@ class QueryCompiler:
             returns = ret_vars + pop_vars
             trailing = "," if len(returns) == 1 else ""
             w.emit(f"return ({', '.join(returns)}{trailing})")
+
+        shared_names: list[str] = []
+        if process:
+            # process workers cannot be closures: capture the body, scan it
+            # for the coordinator-built read-only state it references (hash
+            # tables, NL-join rows, monoids), and emit it as a top-level
+            # function taking that state through an explicit ``_shared``
+            # dict rehydrated child-side from the kernel spec
+            with w.capture(indent=1) as body_lines:
+                emit_worker_body()
+            body = "\n".join(body_lines)
+            local = set(ret_vars) | set(pop_vars)
+            shared_names = sorted(
+                set(re.findall(r"\b(?:_ht\d+|_nl\d+|_gm\d+|_M)\b", body))
+                - local
+            )
+            header = [f"def {worker}(_rt, _shared, _split):"]
+            header.extend(f"    {n} = _shared[{n!r}]" for n in shared_names)
+            self._proc_workers.append("\n".join(header) + "\n" + body)
+        else:
+            with w.block(f"def {worker}(_split):"):
+                emit_worker_body()
         if node.access != "cache":
             w.emit(f"_rt.account_raw({node.source!r})")
         # bag/list driver folds are LIMIT-countable: the runtime may
@@ -899,8 +992,16 @@ class QueryCompiler:
             f"whole={node.bind_whole!r}, limited={limited!r})"
         )
         parts = self._next("pt")
-        w.emit(f"{parts} = _rt.run_morsels({worker}, {splits}, "
-               f"{node.parallel}, limited={limited!r})")
+        if process:
+            shared_var = self._next("sh")
+            items = ", ".join(f"{n!r}: {n}" for n in shared_names)
+            w.emit(f"{shared_var} = {{{items}}}")
+            w.emit(f"{parts} = _rt.run_morsels_spec(__vida_module_source__, "
+                   f"{worker!r}, {shared_var}, {splits}, {node.parallel}, "
+                   f"limited={limited!r})")
+        else:
+            w.emit(f"{parts} = _rt.run_morsels({worker}, {splits}, "
+                   f"{node.parallel}, limited={limited!r})")
         region.emit_outer_init(w)
         part = self._next("p")
         with w.block(f"for {part} in {parts}:"):
@@ -925,9 +1026,16 @@ class QueryCompiler:
         pred = node.pred
         push = ""
         if node.sel_push and pred is not None:
-            pushed = self._emit_pred_pushdown(node, locals_by_path)
+            pushed = self._pred_pushdown_kernel(node, locals_by_path)
             if pushed is not None:
-                kernel, pred_fields = pushed
+                kernel, pred_fields, emit_def = pushed
+                if (node.backend == "process"
+                        and self._par_regions.get(id(node)) is not None):
+                    # the kernel must be a worker-local def: the child
+                    # executes only module-level code plus the worker body
+                    self._worker_prelude = emit_def
+                else:
+                    emit_def()
                 push = f", pred_fields={pred_fields!r}, pred_kernel={kernel}"
                 pred = None  # chunks arrive as dense predicate survivors
         call = (f"_rt.csv_chunks({node.source!r}, {chunk_fields!r}, "
@@ -937,28 +1045,33 @@ class QueryCompiler:
                                 pop_lists, chunk_fields, consume, pred=pred)
         self._emit_populate_finalizer(node, pop_lists)
 
-    def _emit_pred_pushdown(self, node: PhysScan,
-                            locals_by_path: dict[str, str]):
-        """Selection pushdown (late materialization): emit the predicate as
+    def _pred_pushdown_kernel(self, node: PhysScan,
+                              locals_by_path: dict[str, str]):
+        """Selection pushdown (late materialization): the predicate becomes
         a standalone kernel function over its columns; the plugin runs it
         right after navigating those columns and materialises the remaining
-        columns only for the surviving row indexes."""
+        columns only for the surviving row indexes. Returns ``(name, fields,
+        emit_def)`` — the definition is emitted by the caller, either in
+        place (thread/serial) or deferred into the worker body (process)."""
         src = compile_expr(node.pred, self.ctx)
         used = [f for f in node.fields if _name_used(src, locals_by_path[f])]
         if not used:
             return None
-        w = self.w
         kernel = self._next("pk")
         params = [f"_pc{i}" for i in range(len(used))]
         targets = [locals_by_path[f] for f in used]
-        with w.block(f"def {kernel}({', '.join(params)}):"):
-            if len(params) == 1:
-                w.emit(f"return [_i for _i, {targets[0]} in "
-                       f"enumerate({params[0]}) if {src}]")
-            else:
-                w.emit(f"return [_i for _i, ({', '.join(targets)}) in "
-                       f"enumerate(zip({', '.join(params)})) if {src}]")
-        return kernel, tuple(used)
+
+        def emit_def() -> None:
+            w = self.w
+            with w.block(f"def {kernel}({', '.join(params)}):"):
+                if len(params) == 1:
+                    w.emit(f"return [_i for _i, {targets[0]} in "
+                           f"enumerate({params[0]}) if {src}]")
+                else:
+                    w.emit(f"return [_i for _i, ({', '.join(targets)}) in "
+                           f"enumerate(zip({', '.join(params)})) if {src}]")
+
+        return kernel, tuple(used), emit_def
 
     def _emit_json_scan(self, node: PhysScan, consume) -> None:
         w = self.w
@@ -1200,6 +1313,10 @@ class QueryCompiler:
         mono = self._next("gm")
         w.emit(f"{mono} = _rt.monoid({node.monoid.name!r}, {node.monoid.params!r})")
         w.emit(f"{groups} = {{}}")
+        if node is self._nest_parallel:
+            # the driver scan's worker accumulates into a worker-local copy
+            # of ``groups``; the coordinator merges per key in morsel order
+            self._par_regions[id(self._nest_driver)] = _NestRegion(groups, mono)
 
         def child_consume():
             keys = ", ".join(compile_expr(e, self.ctx) for _n, e in node.keys)

@@ -10,6 +10,7 @@ served, raw bytes touched) that the benchmarks report.
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 from dataclasses import dataclass, field
 
@@ -81,11 +82,16 @@ class QueryRuntime:
         cleaning: dict | None = None,
         devices: dict | None = None,
         row_limit: int | None = None,
+        process_pool=None,
     ):
         self.catalog = catalog
         self.cache = cache
         self.cleaning = cleaning or {}
         self.devices = devices or {}
+        #: session-lifetime worker-process pool, present when the session was
+        #: opened with ``backend="process"`` (scans the planner marked
+        #: ``backend="process"`` fan their kernel specs out through it)
+        self.process_pool = process_pool
         self.stats = ExecStats()
         #: SQL LIMIT (or query(limit=...)) — lets LIMIT-countable parallel
         #: folds stop consuming morsels once enough rows are in hand
@@ -145,6 +151,78 @@ class QueryRuntime:
             if scheduler.cancelled:
                 with self._lock:
                     self.stats.morsels_cancelled += scheduler.cancelled
+        return partials
+
+    def run_morsels_spec(self, module_source: str, worker: str, shared: dict,
+                         morsels: list, dop: int, limited: bool = False) -> list:
+        """Process-backend fan-out of a JIT parallel scan.
+
+        Packages the generated module plus the worker's read-only closure
+        state into a picklable :class:`~.procpool.KernelSpec`, runs it over
+        the session's worker-process pool, and returns unpacked worker
+        partials in morsel order — shaped exactly like the thread path's, so
+        the generated merge loop is backend-agnostic. Worker stat deltas are
+        flushed under the runtime lock and positional-map partials are
+        stored for :meth:`finish_scan`, mirroring the thread contract.
+        """
+        import functools
+
+        from . import procpool
+
+        spec = procpool.jit_spec(self, module_source, worker, shared)
+        kernel = functools.partial(procpool.run_jit_morsel, pickle.dumps(spec))
+        return self._run_spec(kernel, morsels, dop, limited)
+
+    def run_morsels_plan(self, plan, shared_ix: dict, morsels: list, dop: int,
+                         limited: bool = False) -> list:
+        """Process-backend fan-out of a static-engine parallel scan: ships
+        the pickled physical plan plus chain-indexed prebuilt join state."""
+        import functools
+
+        from . import procpool
+
+        spec = procpool.static_spec(self, plan, shared_ix)
+        kernel = functools.partial(procpool.run_static_morsel, pickle.dumps(spec))
+        return self._run_spec(kernel, morsels, dop, limited)
+
+    def _run_spec(self, kernel, morsels: list, dop: int, limited: bool) -> list:
+        """Shared spec-kernel driver: schedule, merge stats/posmap partials
+        in the parent (children never touch the parent's cache), unpack
+        shared-memory columns, and return worker partials in morsel order."""
+        from . import procpool
+        from .scheduler import ProcessMorselScheduler
+
+        stop = None
+        if limited and self.row_limit is not None:
+            target = self.row_limit
+            seen = 0
+
+            def stop(result):
+                nonlocal seen
+                # result[0] is the packed partial; its first element is the
+                # ordered output-row list (len works on shm placeholders too)
+                seen += len(result[0][0])
+                return seen >= target
+
+        scheduler = ProcessMorselScheduler(dop, self.process_pool)
+        scheduler.discard = procpool.release_result
+        results = scheduler.map(kernel, morsels, stop=stop)
+        if len(results) < len(morsels):
+            self.truncated = True
+            if scheduler.cancelled:
+                with self._lock:
+                    self.stats.morsels_cancelled += scheduler.cancelled
+        partials = []
+        for morsel, (packed, deltas, posmaps) in zip(morsels, results):
+            raw_rows, cleaned, skipped, cache_rows = deltas
+            with self._lock:
+                self.stats.raw_rows += raw_rows
+                self.stats.cleaned_rows += cleaned
+                self.stats.skipped_rows += skipped
+                self.stats.cache_rows += cache_rows
+                for src, part in posmaps:
+                    self._posmap_parts.setdefault(src, {})[morsel] = part
+            partials.append(procpool.unpack_partial(packed))
         return partials
 
     def account_raw(self, source: str) -> None:

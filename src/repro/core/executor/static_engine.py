@@ -31,9 +31,39 @@ from ..physical import (
     PhysReduce,
     PhysScan,
     PhysUnnest,
+    chain_nest,
 )
 
 Env = dict
+
+
+def _chain_nodes(node: PhysNode) -> list[PhysNode]:
+    """Join nodes along the driver chain, in a stable top-down order.
+
+    This is the traversal ``_prebuild_chain`` uses to attach shared state,
+    exposed so the process backend can translate its ``id(node)``-keyed
+    shared dict into chain *indexes* — stable across a pickle round-trip,
+    unlike object ids.
+    """
+    out: list[PhysNode] = []
+    while True:
+        if isinstance(node, (PhysFilter, PhysUnnest, PhysNest)):
+            node = node.child
+        elif isinstance(node, PhysHashJoin):
+            out.append(node)
+            node = node.probe
+        elif isinstance(node, PhysNLJoin):
+            out.append(node)
+            node = node.outer
+        else:
+            return out
+
+
+def rekey_shared(plan: PhysReduce, shared_by_index: dict) -> dict:
+    """Child-side inverse of the chain-index translation: rebind shared
+    join state to the ids of *this* process's unpickled plan nodes."""
+    nodes = _chain_nodes(plan.child)
+    return {id(nodes[i]): state for i, state in shared_by_index.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -241,8 +271,8 @@ class StaticExecutor:
         admitted once after the ordered merge, exactly like a serial scan.
         """
         m = plan.monoid
-        skip_null = m.name in _NUMERIC_SKIP_NULL
-        shared: dict[int, object] = {}
+        nest = chain_nest(plan)
+        shared: dict = {}
         self._prebuild_chain(plan.child, rt, shared)
         if driver.access != "cache" and driver.format in ("csv", "json", "array"):
             rt.account_raw(driver.source)
@@ -254,34 +284,29 @@ class StaticExecutor:
             req_fields, req_whole = driver.fields, False
         # bag/list folds are LIMIT-countable: over-partition so the
         # scheduler can cancel pending morsels once the limit is satisfied
-        limited = m.name in ("bag", "list")
+        # (never through a nest — group counts don't track row counts)
+        limited = m.name in ("bag", "list") and nest is None
         splits = rt.scan_splits(driver.source, driver.parallel,
                                 access=driver.access, fields=req_fields,
                                 whole=req_whole, limited=limited)
 
-        def worker(split):
-            acc = m.zero()
-            pop: dict = {"columns": {}, "whole": []}
-            for env in self._iter(plan.child, rt, split=split, shared=shared,
-                                  pop=pop):
-                head = eval_expr(plan.head, env, rt)
-                if skip_null and head is None:
-                    continue
-                if m.name == "count":
-                    acc = m.merge(acc, 1)
-                else:
-                    acc = m.merge(acc, m.lift(head))
-            return acc, pop
+        if driver.backend == "process":
+            nodes = _chain_nodes(plan.child)
+            shared_ix = {i: shared[id(n)] for i, n in enumerate(nodes)
+                         if id(n) in shared}
+            partials = rt.run_morsels_plan(plan, shared_ix, splits,
+                                           driver.parallel, limited=limited)
+        else:
+            def worker(split):
+                return self.driver_partial(plan, rt, split, shared)
 
-        partials = rt.run_morsels(worker, splits, driver.parallel,
-                                  limited=limited)
+            partials = rt.run_morsels(worker, splits, driver.parallel,
+                                      limited=limited)
         if driver.access != "cache":
             rt.finish_scan(driver.source, splits)
-        acc = m.zero()
         merged: dict[str, list] = {}
         merged_whole: list = []
-        for pacc, pop in partials:
-            acc = m.merge(acc, pacc)
+        for _pacc, pop in partials:
             for f, col in pop["columns"].items():
                 merged.setdefault(f, []).extend(col)
             merged_whole.extend(pop["whole"])
@@ -292,12 +317,76 @@ class StaticExecutor:
             if scalar_pop and merged:
                 rt.admit_columns(driver.source, scalar_pop,
                                  tuple(merged[f] for f in scalar_pop))
+        if nest is not None:
+            # merge per-key group partials in morsel order (first occurrence
+            # fixes key order, same as serial), park them where _iter's Nest
+            # operator looks, and run everything above the nest serially
+            gm = nest.monoid
+            merged_groups: dict = {}
+            for groups, _pop in partials:
+                for key, (acc, raw_key) in groups.items():
+                    prev = merged_groups.get(key)
+                    if prev is None:
+                        merged_groups[key] = (acc, raw_key)
+                    else:
+                        merged_groups[key] = (gm.merge(prev[0], acc), prev[1])
+            shared[("nest", id(nest))] = merged_groups
+            skip_null = m.name in _NUMERIC_SKIP_NULL
+            acc = m.zero()
+            for env in self._iter(plan.child, rt, shared=shared):
+                head = eval_expr(plan.head, env, rt)
+                if skip_null and head is None:
+                    continue
+                if m.name == "count":
+                    acc = m.merge(acc, 1)
+                else:
+                    acc = m.merge(acc, m.lift(head))
+            return m.finalize(acc)
+        acc = m.zero()
+        for pacc, _pop in partials:
+            acc = m.merge(acc, pacc)
         return m.finalize(acc)
+
+    def driver_partial(self, plan: PhysReduce, rt, split, shared):
+        """One morsel's partial: the fold (or, when the plan shards at a
+        grouping Nest, the per-key group accumulators) over the driver
+        chain restricted to ``split``, plus the scan's cache-population
+        share. Called by thread workers directly and by process-pool
+        children through the kernel-spec protocol."""
+        pop: dict = {"columns": {}, "whole": []}
+        nest = chain_nest(plan)
+        if nest is not None:
+            gm = nest.monoid
+            groups: dict = {}
+            for env in self._iter(nest.child, rt, split=split, shared=shared,
+                                  pop=pop):
+                key = tuple(hashable(eval_expr(e, env, rt))
+                            for _n, e in nest.keys)
+                raw_key = tuple(eval_expr(e, env, rt) for _n, e in nest.keys)
+                acc, _raw = groups.get(key, (gm.zero(), raw_key))
+                groups[key] = (
+                    gm.merge(acc, gm.lift(eval_expr(nest.head, env, rt))),
+                    raw_key,
+                )
+            return groups, pop
+        m = plan.monoid
+        skip_null = m.name in _NUMERIC_SKIP_NULL
+        acc = m.zero()
+        for env in self._iter(plan.child, rt, split=split, shared=shared,
+                              pop=pop):
+            head = eval_expr(plan.head, env, rt)
+            if skip_null and head is None:
+                continue
+            if m.name == "count":
+                acc = m.merge(acc, 1)
+            else:
+                acc = m.merge(acc, m.lift(head))
+        return acc, pop
 
     def _prebuild_chain(self, node: PhysNode, rt, shared: dict) -> None:
         """Materialise join state along the driver chain, once, serially."""
         while True:
-            if isinstance(node, (PhysFilter, PhysUnnest)):
+            if isinstance(node, (PhysFilter, PhysUnnest, PhysNest)):
                 node = node.child
             elif isinstance(node, PhysHashJoin):
                 shared[id(node)] = self._build_table(node, rt)
@@ -383,13 +472,18 @@ class StaticExecutor:
                     if node.pred is None or eval_expr(node.pred, child_env, rt):
                         yield child_env
         elif isinstance(node, PhysNest):
-            groups: dict = {}
             m = node.monoid
-            for env in self._iter(node.child, rt):
-                key = tuple(hashable(eval_expr(e, env, rt)) for _n, e in node.keys)
-                raw_key = tuple(eval_expr(e, env, rt) for _n, e in node.keys)
-                acc, _raw = groups.get(key, (m.zero(), raw_key))
-                groups[key] = (m.merge(acc, m.lift(eval_expr(node.head, env, rt))), raw_key)
+            groups: dict | None = None
+            if shared is not None:
+                # a parallel run already built and merged this node's groups
+                groups = shared.get(("nest", id(node)))
+            if groups is None:
+                groups = {}
+                for env in self._iter(node.child, rt, split, shared, pop):
+                    key = tuple(hashable(eval_expr(e, env, rt)) for _n, e in node.keys)
+                    raw_key = tuple(eval_expr(e, env, rt) for _n, e in node.keys)
+                    acc, _raw = groups.get(key, (m.zero(), raw_key))
+                    groups[key] = (m.merge(acc, m.lift(eval_expr(node.head, env, rt))), raw_key)
             for _key, (acc, raw_key) in groups.items():
                 record = {name: raw_key[i] for i, (name, _e) in enumerate(node.keys)}
                 record[node.agg_name] = m.finalize(acc)

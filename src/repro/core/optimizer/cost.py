@@ -64,6 +64,15 @@ DISPATCH_OVERHEAD_BUDGET = 0.02
 #: a morsel must carry at least this multiple of its setup cost in work
 MORSEL_MIN_WORK_FACTOR = 8.0
 
+# Process-backend fixed costs, in the same abstract units. Like JIT compile
+# time, process fan-out is a fixed tax that only pays off above a work
+# threshold: the first use of the session pool spawns fresh interpreters
+# (amortised across the session but still charged to be conservative), and
+# every parallel scan pickles a kernel spec out and a column-batch partial
+# back per morsel.
+PROCESS_SPAWN_COST = 30000.0
+PROCESS_MORSEL_IPC_COST = 1500.0
+
 
 def choose_batch_size(rows: int, nfields: int = 1, fmt: str = "csv",
                       access: str = "cold") -> int:
@@ -108,6 +117,27 @@ def choose_parallelism(requested: int, rows: int, nfields: int,
     work = rows * max(1, nfields) * access_factor(fmt, access)
     worthwhile = int(work // (MORSEL_MIN_WORK_FACTOR * MORSEL_SETUP_COST))
     return max(1, min(requested, worthwhile))
+
+
+def choose_backend(requested: str, rows: int, nfields: int,
+                   fmt: str, access: str, dop: int) -> str:
+    """Execution substrate for one parallel scan: ``process`` only when the
+    estimated conversion work amortizes the backend's fixed costs.
+
+    Two gates, both in abstract attribute-fetch units: the scan's total work
+    must cover the (session-amortised) spawn cost, and each worker's share
+    must be worth ``MORSEL_MIN_WORK_FACTOR`` × the per-morsel IPC cost of
+    shipping a spec out and a pickled partial back. Otherwise thread morsels
+    win — their dispatch is three orders of magnitude cheaper.
+    """
+    if requested != "process" or dop <= 1:
+        return "thread"
+    work = rows * max(1, nfields) * access_factor(fmt, access)
+    if work < PROCESS_SPAWN_COST:
+        return "thread"
+    if work / dop < MORSEL_MIN_WORK_FACTOR * PROCESS_MORSEL_IPC_COST:
+        return "thread"
+    return "process"
 
 
 def access_factor(fmt: str, access: str) -> float:

@@ -65,6 +65,8 @@ class PlanDecisions:
     populate: dict[str, tuple] = field(default_factory=dict)    # var → cached fields
     batch: dict[str, int] = field(default_factory=dict)         # var → rows per chunk
     parallel: dict[str, int] = field(default_factory=dict)      # var → morsel DoP
+    #: var → execution substrate for its parallel scan (thread | process)
+    parallel_backend: dict[str, str] = field(default_factory=dict)
     filters: dict[str, str] = field(default_factory=dict)       # var → vec | row
     cache_served: bool = False
     notes: list[str] = field(default_factory=list)
@@ -80,7 +82,11 @@ class PlanDecisions:
                 f"{v}:{b}" for v, b in self.batch.items()) + "]"
         if self.parallel:
             out += " parallel[" + ", ".join(
-                f"{v}:{n}" for v, n in self.parallel.items()) + "]"
+                f"{v}:{n}" + (
+                    f"/{self.parallel_backend[v]}"
+                    if self.parallel_backend.get(v, "thread") != "thread" else ""
+                )
+                for v, n in self.parallel.items()) + "]"
         if self.filters:
             out += " filter[" + ", ".join(
                 f"{v}:{k}" for v, k in self.filters.items()) + "]"
@@ -121,6 +127,8 @@ class Planner:
         serial_sources: frozenset | set | None = None,
         cleaning_sources: frozenset | set | None = None,
         vector_filters: bool = True,
+        backend: str = "thread",
+        cleaning_policies: dict | None = None,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
@@ -138,6 +146,13 @@ class Planner:
         self.cleaning_sources = frozenset(cleaning_sources or ())
         #: selection-vector execution on (session flag); gates sel_push
         self.vector_filters = vector_filters
+        #: session-requested morsel substrate ("thread" | "process"); the
+        #: per-scan choice still runs through the cost model and the
+        #: kernel-spec shippability gates
+        self.backend = backend
+        #: live cleaning-policy objects (for the picklability gate); the
+        #: frozenset above remains the sel_push gate
+        self.cleaning_policies = cleaning_policies or {}
 
     # -- public -----------------------------------------------------------
 
@@ -161,12 +176,16 @@ class Planner:
         """Assign a degree of parallelism to morsel-shardable scans.
 
         Two shapes shard: the plan's *driver* scan (the outermost loop —
-        every worker folds the root monoid into its own partial) and direct
-        hash-join *build* scans (workers build partial tables, merged
-        per key). Everything else stays serial; DoP per scan comes from
-        the cost model so small or warm scans don't pay morsel setup.
+        every worker folds the root monoid, or the chain's grouping Nest,
+        into its own partial) and direct hash-join *build* scans (workers
+        build partial tables, merged per key). Everything else stays serial;
+        DoP per scan comes from the cost model so small or warm scans don't
+        pay morsel setup. With a process-backend session, each parallel scan
+        additionally picks its substrate: process morsels only when the
+        whole plan is kernel-spec shippable and the work amortizes
+        spawn + per-morsel IPC.
         """
-        from ..physical import PhysHashJoin, parallel_driver
+        from ..physical import PhysHashJoin, parallel_driver, plan_scans
 
         candidates: list[PhysScan] = []
         driver = parallel_driver(plan)
@@ -178,11 +197,115 @@ class Planner:
             if isinstance(node, PhysHashJoin) and isinstance(node.build, PhysScan):
                 candidates.append(node.build)
             stack.extend(node.children())
+        blocker = None
+        if self.backend == "process":
+            blocker = self._process_blocker(plan)
         for scan in candidates:
             dop = self._scan_parallelism(scan)
             if dop > 1:
                 scan.parallel = dop
                 decisions.parallel[scan.var] = dop
+                backend = "thread"
+                if self.backend == "process":
+                    if blocker is not None:
+                        decisions.notes.append(
+                            f"{scan.var}: {blocker}; thread morsels"
+                        )
+                    else:
+                        backend = self._scan_backend(scan, dop, decisions)
+                scan.backend = backend
+                decisions.parallel_backend[scan.var] = backend
+        if self.backend == "process":
+            for scan in plan_scans(plan):
+                if scan.parallel > 1:
+                    continue
+                if scan.format == "dbms" or scan.source in self.serial_sources:
+                    kind = "dbms source" if scan.format == "dbms" \
+                        else "device-charged source"
+                    decisions.notes.append(
+                        f"{scan.var}: process backend unavailable "
+                        f"({kind} {scan.source!r} is not picklable); runs serial"
+                    )
+
+    def _scan_backend(self, scan: PhysScan, dop: int,
+                      decisions: PlanDecisions) -> str:
+        """Substrate for one shippable parallel scan, via the cost model."""
+        if scan.access == "cache":
+            # cache entries live in the parent; shipping them defeats the cache
+            decisions.notes.append(
+                f"{scan.var}: cache scan stays on thread morsels"
+            )
+            return "thread"
+        entry = self.catalog.get(scan.source)
+        rows = C.source_row_estimate(entry)
+        chosen = C.choose_backend(
+            "process", rows, len(scan.chunk_fields()) or 1,
+            scan.format, scan.access, dop,
+        )
+        if chosen != "process":
+            decisions.notes.append(
+                f"{scan.var}: work below process-backend threshold; "
+                "thread morsels"
+            )
+        return chosen
+
+    def _process_blocker(self, plan: PhysReduce) -> str | None:
+        """Why this plan cannot ship kernel specs to worker processes
+        (None when it can): every referenced source must be rebuildable
+        from a picklable SourceSpec, must not be charged to a simulated
+        device (devices live in the parent), and any cleaning policy that
+        would ship must itself pickle."""
+        import pickle as _pickle
+
+        from ..executor import procpool
+
+        for name in sorted(self._plan_sources(plan)):
+            entry = self.catalog.get(name)
+            if name in self.serial_sources:
+                return f"device-charged source {name!r} cannot ship to workers"
+            if entry.format not in procpool.SPECABLE_FORMATS:
+                return f"{entry.format} source {name!r} is not picklable"
+            policy = self.cleaning_policies.get(name)
+            if policy is not None:
+                try:
+                    _pickle.dumps(policy)
+                except Exception:
+                    return f"cleaning policy for {name!r} is not picklable"
+        return None
+
+    def _plan_sources(self, plan: PhysReduce) -> set[str]:
+        """Every catalog source the plan touches: scan leaves plus sources
+        referenced from embedded expressions (subquery generators)."""
+        from ..physical import PhysUnnest
+
+        names = self.catalog.names()
+        out: set[str] = set()
+        stack: list = [plan]
+        while stack:
+            node = stack.pop()
+            exprs: list = []
+            if isinstance(node, PhysScan):
+                out.add(node.source)
+                exprs = [node.pred]
+            elif isinstance(node, PhysExprScan):
+                exprs = [node.expr, node.pred]
+            elif isinstance(node, PhysFilter):
+                exprs = [node.pred]
+            elif isinstance(node, PhysHashJoin):
+                exprs = [*node.build_keys, *node.probe_keys, node.residual]
+            elif isinstance(node, PhysNLJoin):
+                exprs = [node.pred]
+            elif isinstance(node, PhysUnnest):
+                exprs = [node.path, node.pred]
+            elif isinstance(node, PhysNest):
+                exprs = [e for _n, e in node.keys] + [node.head]
+            elif isinstance(node, PhysReduce):
+                exprs = [node.head]
+            for e in exprs:
+                if e is not None:
+                    out |= A.free_vars(e) & names
+            stack.extend(node.children())
+        return out
 
     def _scan_parallelism(self, scan: PhysScan) -> int:
         if scan.source in self.serial_sources:
@@ -404,17 +527,27 @@ class Planner:
             pred = None
         if u.kind == "scan":
             entry = self.catalog.get(u.node.source)
-            if u.populate:
-                decisions.populate[u.var] = u.populate
             index_eq = None
             if entry.format == "dbms":
                 index_eq = self._index_pushdown(u, entry, decisions)
+            sel_push = self._sel_push(u, entry, pred)
+            if sel_push and u.populate:
+                # pushdown yields survivor rows only; a survivors-only column
+                # must never be admitted as a complete one (truncated-column
+                # rule), so population is dropped in favour of the pushdown
+                decisions.notes.append(
+                    f"{u.var}: selection pushdown over populate⊆predicate "
+                    "fields; cache population disabled"
+                )
+                u.populate = ()
+            if u.populate:
+                decisions.populate[u.var] = u.populate
             scan = PhysScan(
                 source=u.node.source, var=u.var, format=entry.format,
                 fields=u.fields, access=u.access, bind_whole=u.whole,
                 populate=u.populate, populate_layout=u.populate_layout,
                 pred=pred, index_eq=index_eq, batch_size=u.batch_size,
-                sel_push=self._sel_push(u, entry, pred),
+                sel_push=sel_push,
                 vec_filter=self.vector_filters,
             )
             if scan.pred is not None:
@@ -443,19 +576,27 @@ class Planner:
         """Push the selection vector into the scan itself (late
         materialization): warm CSV scans navigate the predicate columns
         first and materialise the rest only for surviving rows. Requires
-        dense scalar extraction (no whole binding), no cache population
-        (the cache needs full columns) and no cleaning policy (the
-        predicate must see repaired values)."""
-        return (
+        dense scalar extraction (no whole binding) and no cleaning policy
+        (the predicate must see repaired values). A populate set no longer
+        blocks the pushdown when the populated columns are a subset of the
+        predicate columns — the caller then drops the population instead
+        (survivors-only columns must not be cached as complete)."""
+        if not (
             self.vector_filters
             and pred is not None
             and entry.format == "csv"
             and u.access == "warm"
             and not u.whole
             and bool(u.fields)
-            and not u.populate
             and entry.name not in self.cleaning_sources
-        )
+        ):
+            return False
+        if not u.populate:
+            return True
+        pred_use = collect_usage(pred).get(u.var)
+        if pred_use is None or pred_use.whole:
+            return False
+        return set(u.populate) <= set(pred_use.top_fields())
 
     def _index_pushdown(self, u: _Unit, entry, decisions: PlanDecisions):
         """Use a store index for an equality conjunct on an indexed field.

@@ -137,6 +137,10 @@ class PhysScan(PhysNode):
     index_eq: tuple | None = None
     batch_size: int = DEFAULT_BATCH_SIZE
     parallel: int = 1
+    #: execution substrate for a parallel scan: "thread" morsel workers share
+    #: the interpreter; "process" ships picklable kernel specs to a worker
+    #: pool (planner picks it only when estimated work amortizes spawn+IPC)
+    backend: str = "thread"
     #: selection pushdown into the scan itself (late materialization): the
     #: plugin evaluates the predicate kernel on the predicate columns and
     #: materialises the remaining columns only for surviving rows. Planner
@@ -273,8 +277,10 @@ def parallel_driver(root: PhysReduce) -> PhysScan | None:
     Both executors' outermost iteration follows the probe/outer/child chain
     from the root reduce; sharding *that* scan across morsels (with every
     worker folding into its own accumulator) is what the parallel strategy
-    parallelizes. Plans whose chain ends elsewhere (grouping ``Nest``,
-    expression scans) execute serially.
+    parallelizes. Grouping ``Nest`` nodes on the chain shard too: workers
+    build per-key partial group accumulators over their morsels and the
+    coordinator merges per key in morsel order (see ``chain_nest``). Plans
+    whose chain ends elsewhere (expression scans) execute serially.
     """
     node: PhysNode = root.child
     while True:
@@ -286,10 +292,37 @@ def parallel_driver(root: PhysReduce) -> PhysScan | None:
             node = node.probe
         elif isinstance(node, PhysNLJoin):
             node = node.outer
-        elif isinstance(node, PhysUnnest):
+        elif isinstance(node, (PhysUnnest, PhysNest)):
             node = node.child
         else:
             return None
+
+
+def chain_nest(root: PhysReduce) -> PhysNest | None:
+    """The grouping node at which a parallel plan shards, if any.
+
+    Morsel workers iterate *below* this node and return per-key group
+    partials; everything above it (including any outer Nest) runs at the
+    coordinator over the merged groups. That makes the **bottom-most** Nest
+    on the driver chain the only sound shard point: a Nest inside a worker
+    would finalize groups over a single morsel's rows.
+    """
+    node: PhysNode = root.child
+    found: PhysNest | None = None
+    while True:
+        if isinstance(node, PhysNest):
+            found = node
+            node = node.child
+        elif isinstance(node, PhysFilter):
+            node = node.child
+        elif isinstance(node, PhysHashJoin):
+            node = node.probe
+        elif isinstance(node, PhysNLJoin):
+            node = node.outer
+        elif isinstance(node, PhysUnnest):
+            node = node.child
+        else:
+            return found
 
 
 def plan_scans(node: PhysNode) -> list[PhysScan]:
@@ -316,7 +349,10 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
         ):
             extras.append(f"batch={node.batch_size}")
         if node.parallel > 1:
-            extras.append(f"parallel={node.parallel}")
+            if node.backend != "thread":
+                extras.append(f"parallel={node.parallel}/{node.backend}")
+            else:
+                extras.append(f"parallel={node.parallel}")
         if node.fields:
             extras.append(f"fields=[{', '.join(node.fields)}]")
         if node.bind_whole:

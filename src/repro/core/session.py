@@ -82,6 +82,11 @@ class QueryResult:
         raise TypeError("scalar query result is not iterable")
 
 
+def _shutdown_pool(pool) -> None:
+    """Module-level so a session finalizer holds no reference to the session."""
+    pool.shutdown()
+
+
 class ViDa:
     """A just-in-time virtual database over raw files."""
 
@@ -94,6 +99,7 @@ class ViDa:
         enable_posmap: bool = True,
         batch_size: int | None = None,
         parallelism: int = 1,
+        backend: str = "thread",
         vector_filters: bool = True,
     ):
         if default_engine not in ("jit", "static"):
@@ -102,6 +108,10 @@ class ViDa:
             raise ViDaError(f"batch_size must be >= 1, got {batch_size}")
         if parallelism < 1:
             raise ViDaError(f"parallelism must be >= 1, got {parallelism}")
+        if backend not in ("thread", "process", "serial"):
+            raise ViDaError(
+                f"unknown backend {backend!r} (thread | process | serial)"
+            )
         self.catalog = Catalog()
         self.cache = DataCache(cache_budget_bytes, admission_policy)
         self.default_engine = default_engine
@@ -112,6 +122,14 @@ class ViDa:
         #: morsel worker budget for parallel scans (1 = serial, the default;
         #: the planner still decides per scan whether sharding pays off)
         self.parallelism = parallelism
+        #: morsel substrate: "thread" (default), "process" (kernel specs over
+        #: a session-lifetime worker-process pool — true multicore on stock
+        #: CPython), or "serial" (force every scan serial, the differential
+        #: baseline). The planner still falls back per scan via the cost
+        #: model and kernel-spec shippability gates.
+        self.backend = backend
+        self._procpool = None
+        self._procpool_finalizer = None
         #: selection-vector filter kernels + vectorized join build/probe in
         #: generated code (True); False keeps row-at-a-time evaluation — the
         #: differential baseline bench_filtered_scan measures against
@@ -214,7 +232,8 @@ class ViDa:
         row_limit = limit if isinstance(limit, int) and limit >= 0 else None
         runtime = QueryRuntime(self.catalog, self.cache if self.enable_cache
                                else DataCache(0), self.cleaning, self.devices,
-                               row_limit=row_limit)
+                               row_limit=row_limit,
+                               process_pool=self._worker_pool())
 
         if not isinstance(norm, A.Comprehension):
             # Merge-of-comprehensions / constant expressions: interpret.
@@ -300,14 +319,52 @@ class ViDa:
         per-access state the worker threads would race on); a wildcard
         device pins the whole session serial.
         """
-        parallelism = 1 if "*" in self.devices else self.parallelism
+        parallelism = self.parallelism
+        if "*" in self.devices or self.backend == "serial":
+            parallelism = 1
         return Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
                        enable_posmap=self.enable_posmap,
                        batch_size=self.batch_size,
                        parallelism=parallelism,
                        serial_sources=frozenset(self.devices),
                        cleaning_sources=frozenset(self.cleaning),
-                       vector_filters=self.vector_filters)
+                       vector_filters=self.vector_filters,
+                       backend=self.backend,
+                       cleaning_policies=self.cleaning)
+
+    def _worker_pool(self):
+        """The session's worker-process pool (process backend only); spawned
+        lazily, reused across queries, reaped when the session goes away."""
+        if self.backend != "process" or self.parallelism <= 1:
+            return None
+        if self._procpool is None:
+            import weakref
+
+            from .executor.procpool import WorkerPool
+
+            self._procpool = WorkerPool(self.parallelism)
+            self._procpool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._procpool
+            )
+        return self._procpool
+
+    def prestart(self) -> None:
+        """Spin worker processes up ahead of the first query, so interpreter
+        spawn never lands inside a query (benchmarks call this before
+        timing; optional otherwise — the pool spawns lazily)."""
+        pool = self._worker_pool()
+        if pool is not None:
+            pool.prestart()
+
+    def close(self) -> None:
+        """Release session resources (the worker-process pool). Queries
+        issued afterwards respawn the pool on demand."""
+        if self._procpool is not None:
+            if self._procpool_finalizer is not None:
+                self._procpool_finalizer.detach()
+                self._procpool_finalizer = None
+            self._procpool.shutdown()
+            self._procpool = None
 
     def _fill_exec_stats(self, stats: QueryStats, runtime: QueryRuntime) -> None:
         es = runtime.stats

@@ -63,6 +63,13 @@ class Monoid:
     def __hash__(self) -> int:
         return hash((self.name, self.params))
 
+    def __reduce__(self):
+        """Pickle by (name, params): the lambda fields cannot cross a process
+        boundary, but every monoid is reconstructible from the registry —
+        required by the process-pool morsel backend, which ships monoids
+        inside kernel specs."""
+        return (get_monoid, (self.name, self.params))
+
     def unit(self, value: Any) -> Any:
         """Build a singleton accumulator ``U⊕(value)``."""
         return self.merge(self.zero(), self.lift(value))
