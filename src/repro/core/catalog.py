@@ -9,6 +9,7 @@ in-place updates, and exposes the type environment the type checker needs.
 
 from __future__ import annotations
 
+import itertools
 import os
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -27,6 +28,11 @@ from ..mcc import types as T
 from ..storage.io import FileFingerprint
 
 
+#: process-wide generation sequence — re-registering a name never reuses a
+#: generation, so stale registry entries can never match a fresh source
+_GENERATIONS = itertools.count()
+
+
 @dataclass
 class CatalogEntry:
     """One registered source: description + live plugin + fingerprint."""
@@ -36,6 +42,9 @@ class CatalogEntry:
     fingerprint: FileFingerprint | None = None
     #: in-memory collections registered directly (no file behind them)
     data: list | None = None
+    #: file-generation token shared by cache/posmap/index invalidation:
+    #: bumps whenever the backing file's fingerprint changes
+    generation: int = field(default_factory=lambda: next(_GENERATIONS))
 
     @property
     def name(self) -> str:
@@ -215,4 +224,5 @@ class Catalog:
         if hasattr(entry.plugin, "invalidate_auxiliary"):
             entry.plugin.invalidate_auxiliary()
         entry.fingerprint = FileFingerprint.of(entry.description.path)
+        entry.generation = next(_GENERATIONS)
         return False

@@ -1024,6 +1024,20 @@ class QueryCompiler:
         names = [locals_by_path[f] for f in node.fields]
         chunk_fields = node.chunk_fields()
         pred = node.pred
+        if node.access == "index":
+            # value-index access path: candidate rows through the JIT index,
+            # holes scanned in place; the original predicate stays as a
+            # vectorized recheck so partial-coverage indexes remain exact
+            call = (f"_rt.index_chunks({node.source!r}, {chunk_fields!r}, "
+                    f"batch_size={node.batch_size}, "
+                    f"whole={node.bind_whole!r}, "
+                    f"lookup={node.index_lookup!r}, "
+                    f"emit_fields={node.index_emit!r})")
+            self._emit_chunked_scan(node, call, names, binding.whole_local,
+                                    pop_lists, chunk_fields, consume,
+                                    pred=pred)
+            self._emit_populate_finalizer(node, pop_lists)
+            return
         push = ""
         if node.sel_push and pred is not None:
             pushed = self._pred_pushdown_kernel(node, locals_by_path)
@@ -1038,9 +1052,10 @@ class QueryCompiler:
                     emit_def()
                 push = f", pred_fields={pred_fields!r}, pred_kernel={kernel}"
                 pred = None  # chunks arrive as dense predicate survivors
+        emit = f", index_fields={node.index_emit!r}" if node.index_emit else ""
         call = (f"_rt.csv_chunks({node.source!r}, {chunk_fields!r}, "
                 f"access={node.access!r}, batch_size={node.batch_size}, "
-                f"whole={node.bind_whole!r}{push})")
+                f"whole={node.bind_whole!r}{push}{emit})")
         self._emit_chunked_scan(node, call, names, binding.whole_local,
                                 pop_lists, chunk_fields, consume, pred=pred)
         self._emit_populate_finalizer(node, pop_lists)
@@ -1103,8 +1118,17 @@ class QueryCompiler:
             whole_local = None
             chunk_fields = node.chunk_fields()
 
-        call = (f"_rt.json_chunks({node.source!r}, {chunk_fields!r}, "
-                f"batch_size={node.batch_size}, whole={bind_whole!r})")
+        if node.access == "index":
+            call = (f"_rt.index_chunks({node.source!r}, {chunk_fields!r}, "
+                    f"batch_size={node.batch_size}, whole={bind_whole!r}, "
+                    f"lookup={node.index_lookup!r}, "
+                    f"emit_fields={node.index_emit!r})")
+        else:
+            emit = (f", index_fields={node.index_emit!r}"
+                    if node.index_emit else "")
+            call = (f"_rt.json_chunks({node.source!r}, {chunk_fields!r}, "
+                    f"batch_size={node.batch_size}, whole={bind_whole!r}"
+                    f"{emit})")
         self._emit_chunked_scan(node, call, names, whole_local, pop_lists,
                                 chunk_fields, consume,
                                 whole_pop_local=populate_whole)

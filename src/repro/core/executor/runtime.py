@@ -9,6 +9,7 @@ served, raw bytes touched) that the benchmarks report.
 
 from __future__ import annotations
 
+import bisect
 import os
 import pickle
 import threading
@@ -17,8 +18,9 @@ from dataclasses import dataclass, field
 from ...caching import DataCache
 from ...errors import ExecutionError
 from ...formats.descriptions import NULL_TOKENS
+from ...indexing import IndexPartial
 from ...mcc.monoids import get_monoid
-from ..chunk import DEFAULT_BATCH_SIZE, MORSEL_ALL, Chunk, split_ranges
+from ..chunk import DEFAULT_BATCH_SIZE, MORSEL_ALL, Chunk, Morsel, split_ranges
 from .scheduler import MorselScheduler
 
 
@@ -35,6 +37,12 @@ class ExecStats:
     skipped_rows: int = 0
     #: morsels cancelled unstarted because a LIMIT was already satisfied
     morsels_cancelled: int = 0
+    #: value indexes created or extended as scan byproducts this query
+    index_builds: int = 0
+    #: scans served through a JIT value index (access=index)
+    index_hits: int = 0
+    #: rows resolved positionally through an index instead of scanned
+    index_rows_served: int = 0
 
     @property
     def cache_only(self) -> bool:
@@ -83,9 +91,14 @@ class QueryRuntime:
         devices: dict | None = None,
         row_limit: int | None = None,
         process_pool=None,
+        indexes=None,
     ):
         self.catalog = catalog
         self.cache = cache
+        #: session-wide :class:`~repro.indexing.IndexRegistry`, or ``None``
+        #: when JIT value indexes are disabled (worker-process children run
+        #: without one, so byproduct emission degrades to a no-op there)
+        self.indexes = indexes
         self.cleaning = cleaning or {}
         self.devices = devices or {}
         #: session-lifetime worker-process pool, present when the session was
@@ -108,6 +121,8 @@ class QueryRuntime:
         # per-morsel positional-map partials awaiting the coordinator's
         # ordered merge (source → {Morsel: PositionalMap})
         self._posmap_parts: dict[str, dict] = {}
+        # per-morsel value-index partials, same lifecycle as posmap partials
+        self._index_parts: dict[str, dict] = {}
 
     # -- generic -----------------------------------------------------------
 
@@ -263,16 +278,49 @@ class QueryRuntime:
 
     def finish_scan(self, source: str, splits: list) -> None:
         """Coordinator epilogue of a parallel scan: merge auxiliary-structure
-        partials (positional maps) in morsel order. No-op for sources whose
-        morsels recorded nothing."""
+        partials (positional maps, value indexes) in morsel order. No-op for
+        sources whose morsels recorded nothing."""
         parts = self._posmap_parts.pop(source, None)
-        if not parts:
+        if parts:
+            byte_splits = [s for s in splits if s.kind == "bytes"]
+            if byte_splits and all(s in parts for s in byte_splits):
+                plugin = self.catalog.get(source).plugin
+                plugin.adopt_posmap_partials([parts[s] for s in byte_splits])
+            # else: a morsel didn't finish; discard rather than adopt holes
+        iparts = self._index_parts.pop(source, None)
+        if iparts:
+            if any(s.kind == "bytes" for s in splits):
+                # byte morsels record morsel-local rows: shifting them to
+                # global rows needs every morsel's exact row count, so a
+                # single missing partial discards the whole byproduct
+                if all(s in iparts for s in splits):
+                    self._adopt_index_partials(
+                        source, [iparts[s] for s in splits]
+                    )
+            else:
+                # row/span morsels record global rows and per-field coverage
+                # ranges, so whatever completed adopts soundly on its own
+                ordered = [iparts[s] for s in splits if s in iparts]
+                if ordered:
+                    self._adopt_index_partials(source, ordered)
+
+    def _adopt_index_partials(self, source: str, partials: list) -> None:
+        """Merge scan-byproduct index partials into the session registry
+        (morsel order), crediting ``index_builds`` for fields that grew."""
+        if self.indexes is None:
             return
-        byte_splits = [s for s in splits if s.kind == "bytes"]
-        if not byte_splits or any(s not in parts for s in byte_splits):
-            return  # a morsel didn't finish; discard rather than adopt holes
-        plugin = self.catalog.get(source).plugin
-        plugin.adopt_posmap_partials([parts[s] for s in byte_splits])
+        entry = self.catalog.get(source)
+        grown = self.indexes.adopt(source, entry.generation, partials)
+        if grown:
+            with self._lock:
+                self.stats.index_builds += grown
+
+    def _new_index_sink(self, index_fields: tuple, split) -> IndexPartial | None:
+        """A byproduct recorder for one scan (or morsel), if emission is on."""
+        if not index_fields or self.indexes is None:
+            return None
+        local = split is not None and split.kind == "bytes"
+        return IndexPartial(index_fields, local_rows=local)
 
     def _cache_scan_once(self, source: str, fields: tuple, whole: bool):
         key = (source, fields, bool(whole))
@@ -385,9 +433,18 @@ class QueryRuntime:
         split=None,
         pred_fields: tuple = (),
         pred_kernel=None,
+        index_fields: tuple = (),
     ):
         """Batched CSV scan: converted column chunks with piggybacked
         positional-map population (cold) and batch-level cleaning.
+
+        ``index_fields`` requests value-index byproduct emission: the plugin
+        records those columns' converted values into an
+        :class:`~repro.indexing.IndexPartial` while scanning, and the
+        partial is adopted into the session registry when the scan (or, for
+        morsels, the coordinator's :meth:`finish_scan`) completes. Emission
+        is suppressed under cleaning policies — repaired/skipped rows would
+        desynchronise value runs from physical rows.
 
         With ``split`` the scan covers one morsel: file-level accounting is
         the coordinator's job (:meth:`account_raw`), row/cleaning counters
@@ -403,6 +460,8 @@ class QueryRuntime:
         if clean is None or not (fields or whole):
             # a projection that touches no raw attribute cannot fail conversion
             clean = None
+        sink = self._new_index_sink(index_fields, split) \
+            if clean is None else None
         if split is None:
             self.stats.raw_sources.add(source)
             self.stats.raw_bytes += os.path.getsize(plugin.path)
@@ -414,12 +473,15 @@ class QueryRuntime:
                 fields, batch_size=batch_size, device=self.device_for(source),
                 clean=clean, whole=whole, access=access,
                 pred_fields=pred_fields, pred_kernel=pred_kernel,
+                index_sink=sink,
             ):
                 count += chunk.scanned if chunk.scanned is not None \
                     else chunk.selected_length
                 yield chunk
             # rows the cleaning policy dropped were still physically scanned
             self.stats.raw_rows += count + (self.stats.skipped_rows - skipped_before)
+            if sink is not None:
+                self._adopt_index_partials(source, [sink])
             return
         local = ExecStats()
         if clean is not None:
@@ -435,6 +497,7 @@ class QueryRuntime:
             clean=clean, whole=whole, access=access, split=split,
             posmap_partial=partial,
             pred_fields=pred_fields, pred_kernel=pred_kernel,
+            index_sink=sink,
         ):
             count += chunk.scanned if chunk.scanned is not None \
                 else chunk.selected_length
@@ -445,6 +508,8 @@ class QueryRuntime:
             self.stats.skipped_rows += local.skipped_rows
             if partial is not None:
                 self._posmap_parts.setdefault(source, {})[split] = partial
+            if sink is not None:
+                self._index_parts.setdefault(source, {})[split] = sink
 
     def json_chunks(
         self,
@@ -453,24 +518,160 @@ class QueryRuntime:
         batch_size: int = DEFAULT_BATCH_SIZE,
         whole: bool = False,
         split=None,
+        index_fields: tuple = (),
     ):
-        """Batched JSON scan: dotted-path column chunks and/or whole objects."""
+        """Batched JSON scan: dotted-path column chunks and/or whole objects.
+
+        ``index_fields`` requests value-index byproduct emission over those
+        dotted paths (JSON rows are semi-index span numbers, always global,
+        so morsel partials never need shifting)."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
+        sink = self._new_index_sink(index_fields, split)
         if split is None:
             self.stats.raw_sources.add(source)
             self.stats.raw_bytes += os.path.getsize(plugin.path)
         count = 0
         for chunk in plugin.scan_chunks(paths, batch_size=batch_size,
                                         device=self.device_for(source),
-                                        whole=whole, split=split):
+                                        whole=whole, split=split,
+                                        index_sink=sink):
             count += chunk.selected_length
             yield chunk
         if split is None:
             self.stats.raw_rows += count
+            if sink is not None:
+                self._adopt_index_partials(source, [sink])
         else:
             with self._lock:
                 self.stats.raw_rows += count
+                if sink is not None:
+                    self._index_parts.setdefault(source, {})[split] = sink
+
+    def index_chunks(
+        self,
+        source: str,
+        fields: tuple,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        whole: bool = False,
+        lookup: tuple | None = None,
+        emit_fields: tuple = (),
+    ):
+        """Serve a scan through a JIT value index (``access=index``).
+
+        Candidate rows matching the ``lookup`` spec are resolved through the
+        session registry and fetched positionally (posmap seek for CSV,
+        semi-index span assembly for JSON); row ranges the index has not
+        covered yet are scanned in full — with byproduct emission on, so
+        coverage converges toward 100% across queries. Candidate fetches and
+        uncovered-range scans interleave in ascending row order, making the
+        emitted row stream bit-identical to a full sequential scan's. The
+        caller keeps the original predicate as a recheck, so candidate
+        false positives (hash-equality quirks, multi-conjunct predicates)
+        and uncovered-range rows are filtered exactly as a scan would.
+
+        Degrades to the plain chunked scan when the registry went stale
+        between planning and execution or the probe type is unservable.
+        """
+        entry = self.catalog.get(source)
+        plugin = entry.plugin
+        fmt = entry.format
+        idx = None
+        if self.indexes is not None and lookup is not None:
+            idx = self.indexes.peek(source, entry.generation, lookup[1])
+        rows = idx.lookup(lookup) if idx is not None else None
+        if rows is None:
+            if fmt == "csv":
+                yield from self.csv_chunks(
+                    source, fields, access="warm", batch_size=batch_size,
+                    whole=whole, index_fields=emit_fields,
+                )
+            else:
+                yield from self.json_chunks(
+                    source, fields, batch_size=batch_size, whole=whole,
+                    index_fields=emit_fields,
+                )
+            return
+        self.stats.index_hits += 1
+        self.stats.raw_sources.add(source)
+        device = self.device_for(source)
+        if fmt == "csv":
+            total = len(plugin.posmap.row_offsets)
+        else:
+            total = plugin.object_count()
+        served = 0
+        pos = 0
+        for lo, hi in idx.uncovered_ranges(total) + [(total, total)]:
+            j = bisect.bisect_left(rows, lo, pos)
+            for i in range(pos, j, batch_size):
+                batch = rows[i:min(j, i + batch_size)]
+                yield self._fetch_rows_chunk(entry, batch, fields, whole,
+                                             device)
+                served += len(batch)
+            # candidates can't live inside an uncovered hole; skip defensively
+            pos = bisect.bisect_left(rows, hi, j)
+            if hi > lo:
+                yield from self._index_hole_scan(entry, lo, hi, fields, whole,
+                                                 batch_size, emit_fields,
+                                                 device)
+        self.stats.index_rows_served += served
+        self.stats.raw_rows += served
+
+    def _fetch_rows_chunk(self, entry, rows: list, fields: tuple,
+                          whole: bool, device) -> Chunk:
+        """Positionally fetch ``rows`` (global row/span numbers) as one
+        dense chunk, mirroring the shapes the plain chunked scans yield."""
+        plugin = entry.plugin
+        fields = tuple(fields)
+        if entry.format == "csv":
+            if whole:
+                names = tuple(plugin.columns)
+                cols = plugin.fetch_rows(rows, names, device=device)
+                records = [dict(zip(names, vals)) for vals in zip(*cols)]
+                picked = tuple(cols[names.index(f)] for f in fields)
+                return Chunk(fields, picked, len(rows), whole=records)
+            if not fields:
+                return Chunk((), (), len(rows))
+            cols = plugin.fetch_rows(rows, fields, device=device)
+            return Chunk(fields, tuple(cols), len(rows))
+        spans = [plugin.semi_index[i] for i in rows]
+        objs = plugin.assemble(spans, device=device)
+        cols = tuple(plugin.project_paths(objs, list(fields))) if fields \
+            else ()
+        if whole:
+            return Chunk(fields, cols, len(objs), whole=objs)
+        return Chunk(fields, cols, len(objs))
+
+    def _index_hole_scan(self, entry, lo: int, hi: int, fields: tuple,
+                         whole: bool, batch_size: int, emit_fields: tuple,
+                         device):
+        """Full scan of one uncovered row range during an index-served scan,
+        emitting byproducts so the range is covered next time."""
+        plugin = entry.plugin
+        source = entry.name
+        if entry.format == "csv":
+            split = Morsel("rows", lo, hi, start_row=lo)
+        else:
+            split = Morsel("spans", lo, hi, start_row=lo)
+        sink = self._new_index_sink(emit_fields, split)
+        count = 0
+        if entry.format == "csv":
+            chunks = plugin.scan_chunks(
+                fields, batch_size=batch_size, device=device, whole=whole,
+                access="warm", split=split, index_sink=sink,
+            )
+        else:
+            chunks = plugin.scan_chunks(
+                fields, batch_size=batch_size, device=device, whole=whole,
+                split=split, index_sink=sink,
+            )
+        for chunk in chunks:
+            count += chunk.scanned if chunk.scanned is not None \
+                else chunk.selected_length
+            yield chunk
+        self.stats.raw_rows += count
+        if sink is not None:
+            self._adopt_index_partials(source, [sink])
 
     def array_chunks(
         self,
@@ -589,10 +790,19 @@ class QueryRuntime:
         plugin = self.catalog.get(source).plugin
         count = 0
         if index_eq is not None:
-            field_name, value = index_eq
-            for doc in plugin.index_lookup(field_name, value):
-                yield doc
-                count += 1
+            if len(index_eq) == 3 and index_eq[2] == "in":
+                field_name, values, _ = index_eq
+                # dict.fromkeys dedupes hash-equal probes (1 vs 1.0) so a
+                # record never surfaces twice for one IN-list
+                for value in dict.fromkeys(values):
+                    for doc in plugin.index_lookup(field_name, value):
+                        yield doc
+                        count += 1
+            else:
+                field_name, value = index_eq
+                for doc in plugin.index_lookup(field_name, value):
+                    yield doc
+                    count += 1
         else:
             for record in plugin.scan(list(fields) or None):
                 yield record

@@ -555,6 +555,27 @@ class StaticExecutor:
                     continue
                 yield from kept
             return
+        if node.access == "index" and fmt in ("csv", "json"):
+            # value-index access path: candidate rows through the JIT index,
+            # holes scanned in place; ``pred`` stays as the recheck so
+            # partial-coverage indexes remain exact
+            whole = node.bind_whole or fmt == "json"
+            scan_fields = node.chunk_fields()
+            for chunk in rt.index_chunks(node.source, scan_fields,
+                                         batch_size=node.batch_size,
+                                         whole=whole,
+                                         lookup=node.index_lookup,
+                                         emit_fields=node.index_emit):
+                if whole:
+                    envs = [{var: record} for record in chunk.iter_whole()]
+                else:
+                    envs = [{var: dict(zip(scan_fields, values))}
+                            for values in chunk.iter_rows()]
+                kept = filter_batch(envs)
+                if not kept:
+                    continue
+                yield from kept
+            return
         if fmt == "csv":
             scan_fields = node.chunk_fields()
             populate: dict[str, list] = {f: [] for f in node.populate}
@@ -570,7 +591,8 @@ class StaticExecutor:
                                        batch_size=node.batch_size,
                                        whole=node.bind_whole, split=split,
                                        pred_fields=pred_fields,
-                                       pred_kernel=pred_kernel):
+                                       pred_kernel=pred_kernel,
+                                       index_fields=node.index_emit):
                 _extend_populate(populate, chunk, scan_fields)
                 if node.bind_whole:
                     envs = [{var: record} for record in chunk.iter_whole()]
@@ -590,7 +612,8 @@ class StaticExecutor:
             whole_pop: list = []
             for chunk in rt.json_chunks(node.source, scalar_pop,
                                         batch_size=node.batch_size, whole=True,
-                                        split=split):
+                                        split=split,
+                                        index_fields=node.index_emit):
                 _extend_populate(populate, chunk, scalar_pop)
                 if node.populate == ("*",):
                     whole_pop.extend(chunk.iter_whole())

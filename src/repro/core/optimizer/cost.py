@@ -64,6 +64,17 @@ DISPATCH_OVERHEAD_BUDGET = 0.02
 #: a morsel must carry at least this multiple of its setup cost in work
 MORSEL_MIN_WORK_FACTOR = 8.0
 
+# JIT value-index access path (paper §2.1 extended per arXiv 1901.07627).
+# An index probe resolves candidate row ids through the hash table/sorted
+# run, each candidate is fetched positionally (posmap seek + convert — a
+# random read, charged well above a streaming warm fetch), and any rows the
+# index hasn't covered yet are scanned with the full predicate. Below
+# MIN_INDEX_COVERAGE the uncovered scan dominates and byproduct emission is
+# still growing the index, so the planner keeps the plain chunked scan.
+INDEX_PROBE_COST = 25.0
+INDEX_FETCH_COST = 4.0
+MIN_INDEX_COVERAGE = 0.5
+
 # Process-backend fixed costs, in the same abstract units. Like JIT compile
 # time, process fan-out is a fixed tax that only pays off above a work
 # threshold: the first use of the session pool spawns fresh interpreters
@@ -213,6 +224,24 @@ def estimate_scan(
     per_row = access_factor(fmt, access) * max(1, nfields)
     return ScanEstimate(rows=rows, cost_per_row=per_row,
                         selectivity=selectivity, batch_size=batch_size)
+
+
+def estimate_index_scan(
+    fmt: str,
+    rows: int,
+    nfields: int,
+    coverage: float,
+    selectivity: float,
+) -> float:
+    """Cost of serving a scan through a value index: probe + positional
+    fetch of the estimated matches within covered rows + a warm scan of
+    the uncovered remainder."""
+    nfields = max(1, nfields)
+    matches = rows * coverage * selectivity
+    uncovered = rows * (1.0 - coverage)
+    return (INDEX_PROBE_COST
+            + matches * INDEX_FETCH_COST * nfields
+            + uncovered * access_factor(fmt, "warm") * nfields)
 
 
 def source_row_estimate(entry) -> int:

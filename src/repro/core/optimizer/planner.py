@@ -112,6 +112,10 @@ class _Unit:
     populate: tuple = ()
     populate_layout: str = "columns"
     batch_size: int = C.MAX_BATCH_SIZE
+    #: ACCESS_INDEX probe spec when the access-path chooser picked an index
+    index_lookup: tuple | None = None
+    #: conjunct fields the scan should emit value-index byproducts for
+    index_emit: tuple = ()
 
 
 class Planner:
@@ -129,6 +133,7 @@ class Planner:
         vector_filters: bool = True,
         backend: str = "thread",
         cleaning_policies: dict | None = None,
+        indexes=None,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
@@ -153,6 +158,10 @@ class Planner:
         #: live cleaning-policy objects (for the picklability gate); the
         #: frozenset above remains the sel_push gate
         self.cleaning_policies = cleaning_policies or {}
+        #: session :class:`~repro.indexing.IndexRegistry`, or None when JIT
+        #: value indexes are disabled; drives both access-path selection
+        #: (access=index) and byproduct-emission marking
+        self.indexes = indexes
 
     # -- public -----------------------------------------------------------
 
@@ -452,6 +461,11 @@ class Planner:
                               u.pushed, batch_size=u.batch_size if batched else 0)
         u.est_rows = max(1.0, est.output_rows)
         u.est_cost = est.total_cost
+
+        if fmt in ("csv", "json") and u.access in ("cold", "warm") \
+                and entry.name not in self.cleaning_sources:
+            self._choose_index_access(u, entry, fmt, rows, decisions)
+
         decisions.access[u.var] = u.access
 
     def _cache_covers(self, source: str, u: _Unit) -> bool:
@@ -547,6 +561,7 @@ class Planner:
                 fields=u.fields, access=u.access, bind_whole=u.whole,
                 populate=u.populate, populate_layout=u.populate_layout,
                 pred=pred, index_eq=index_eq, batch_size=u.batch_size,
+                index_lookup=u.index_lookup, index_emit=u.index_emit,
                 sel_push=sel_push,
                 vec_filter=self.vector_filters,
             )
@@ -599,31 +614,128 @@ class Planner:
         return set(u.populate) <= set(pred_use.top_fields())
 
     def _index_pushdown(self, u: _Unit, entry, decisions: PlanDecisions):
-        """Use a store index for an equality conjunct on an indexed field.
+        """Use a store index for a value conjunct on an indexed field.
 
         "ViDa's access paths can utilize existing indexes to speed-up
-        queries to this data source" (§2.1). The matched conjunct stays in
-        the scan predicate as a cheap recheck.
+        queries to this data source" (§2.1). Matching runs through the same
+        :meth:`_value_conjuncts` chooser as raw-file JIT indexes, so
+        equality with constant-folded comparands and IN-lists push down
+        too. The matched conjunct stays in the scan predicate as a cheap
+        recheck.
         """
         indexed = set(entry.plugin.indexed_fields())
         if not indexed:
             return None
-        for p in u.pushed:
-            if not (isinstance(p, A.BinOp) and p.op == "="):
+        for fname, spec, _sel in self._value_conjuncts(u, entry.format):
+            if fname not in indexed:
                 continue
-            sides = [(p.left, p.right), (p.right, p.left)]
-            for field_side, const_side in sides:
-                if not isinstance(const_side, A.Const):
-                    continue
-                if isinstance(field_side, A.Proj) and \
-                        isinstance(field_side.expr, A.Var) and \
-                        field_side.expr.name == u.var and \
-                        field_side.attr in indexed:
-                    decisions.notes.append(
-                        f"index lookup on {entry.name}.{field_side.attr}"
-                    )
-                    return (field_side.attr, const_side.value)
+            if spec[0] == "eq":
+                decisions.notes.append(
+                    f"index lookup on {entry.name}.{fname}"
+                )
+                return (fname, spec[2])
+            if spec[0] == "in":
+                decisions.notes.append(
+                    f"index lookup on {entry.name}.{fname} (IN-list)"
+                )
+                return (fname, spec[2], "in")
         return None
+
+    def _value_conjuncts(self, u: _Unit, fmt: str) -> list[tuple]:
+        """Pushed single-source conjuncts usable as index probes.
+
+        Matches ``field <op> const-expr`` (either side, comparisons
+        flipped), ``field IN (c1, c2, ...)``, with comparands constant-
+        folded (negation, arithmetic on literals). Returns
+        ``(field, spec, selectivity)`` triples, where ``field`` is a
+        top-level column for CSV/DBMS sources and a dotted path for JSON,
+        and ``spec`` is the lookup-tuple contract of
+        :class:`~repro.indexing.ValueIndex`.
+        """
+        out: list[tuple] = []
+        for p in u.pushed:
+            if not isinstance(p, A.BinOp):
+                continue
+            if p.op == "in":
+                fname = _proj_field(p.left, u.var, fmt)
+                vals = _const_fold(p.right)
+                if isinstance(vals, list):
+                    vals = tuple(vals)
+                if fname is not None and isinstance(vals, tuple):
+                    out.append((fname, ("in", fname, vals),
+                                C.SELECTIVITY["in"]))
+                continue
+            if p.op != "=" and p.op not in _COMPARE_FLIP:
+                continue
+            for field_side, const_side, op in (
+                (p.left, p.right, p.op),
+                (p.right, p.left,
+                 p.op if p.op == "=" else _COMPARE_FLIP[p.op]),
+            ):
+                fname = _proj_field(field_side, u.var, fmt)
+                if fname is None:
+                    continue
+                value = _const_fold(const_side)
+                if value is _NO_FOLD:
+                    continue
+                if op == "=":
+                    spec = ("eq", fname, value)
+                elif op in ("<", "<="):
+                    spec = ("range", fname, None, value, False, op == "<=")
+                else:
+                    spec = ("range", fname, value, None, op == ">=", False)
+                out.append((fname, spec, C.SELECTIVITY[p.op]))
+                break
+        return out
+
+    def _choose_index_access(self, u: _Unit, entry, fmt: str, rows: int,
+                             decisions: PlanDecisions) -> None:
+        """Access-path selection for JIT value indexes, plus byproduct
+        marking: a warm scan with a usable, sufficiently covering index
+        whose estimated probe+fetch+uncovered-scan cost beats the full
+        chunked scan upgrades to ``access=index``; every matched conjunct
+        field is marked for byproduct emission either way, so plain scans
+        keep growing the indexes the chooser will use next time."""
+        matches = self._value_conjuncts(u, fmt)
+        if not matches:
+            return
+        u.index_emit = tuple(dict.fromkeys(f for f, _s, _sel in matches))
+        if self.indexes is None or u.access != "warm":
+            # positional fetch needs a complete posmap/semi-index; cold
+            # scans only emit byproducts this round
+            return
+        nf = len(u.fields) or 1
+        for fname, spec, sel in matches:
+            idx = self.indexes.peek(entry.name, entry.generation, fname)
+            if idx is None:
+                continue  # no index yet: emission will build one, no note
+            coverage = idx.coverage(rows)
+            if coverage < C.MIN_INDEX_COVERAGE:
+                decisions.notes.append(
+                    f"{u.var}: index on {entry.name}.{fname} rejected "
+                    f"(coverage {coverage:.0%} < "
+                    f"{C.MIN_INDEX_COVERAGE:.0%})"
+                )
+                continue
+            icost = C.estimate_index_scan(fmt, rows, nf, coverage, sel)
+            if icost >= u.est_cost:
+                decisions.notes.append(
+                    f"{u.var}: index on {entry.name}.{fname} rejected "
+                    f"(cost {icost:.0f} >= scan {u.est_cost:.0f})"
+                )
+                continue
+            u.access = "index"
+            u.index_lookup = spec
+            u.est_cost = icost
+            if u.populate:
+                # an index-served scan touches matching rows only; partial
+                # columns must never be admitted as complete
+                u.populate = ()
+            decisions.notes.append(
+                f"{u.var}: index lookup on {entry.name}.{fname} "
+                f"(coverage {coverage:.0%})"
+            )
+            return
 
     def _build_tree(self, ordered, unit_by_var, equi, residual, decisions,
                     extra_exprs) -> PhysNode:
@@ -702,6 +814,68 @@ class Planner:
             for p in pending_residual:
                 plan = PhysFilter(plan, p)
         return plan
+
+
+#: comparison flip for const-on-the-left conjuncts (5 < p.age ≡ p.age > 5)
+_COMPARE_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+#: sentinel for "not a constant expression" (None is a valid constant)
+_NO_FOLD = object()
+
+
+def _proj_field(e: A.Expr, var: str, fmt: str) -> str | None:
+    """The field a ``var.attr...`` projection chain names, or None.
+
+    JSON sources accept dotted paths; CSV/DBMS columns are top-level only.
+    """
+    path: list[str] = []
+    while isinstance(e, A.Proj):
+        path.append(e.attr)
+        e = e.expr
+    if not path or not isinstance(e, A.Var) or e.name != var:
+        return None
+    if fmt != "json" and len(path) > 1:
+        return None
+    return ".".join(reversed(path))
+
+
+def _const_fold(e: A.Expr):
+    """Evaluate a constant expression to its Python value, or _NO_FOLD.
+
+    Only operators both engines evaluate with plain Python semantics fold
+    (literals, list literals, unary minus, + - * /), so a folded probe is
+    exactly the value the predicate recheck will compare against.
+    """
+    if isinstance(e, A.Const):
+        return e.value
+    if isinstance(e, A.ListLit):
+        items = [_const_fold(i) for i in e.items]
+        if any(i is _NO_FOLD for i in items):
+            return _NO_FOLD
+        return tuple(items)
+    if isinstance(e, A.UnOp) and e.op == "-":
+        v = _const_fold(e.expr)
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            return _NO_FOLD
+        return -v
+    if isinstance(e, A.BinOp) and e.op in ("+", "-", "*", "/", "%"):
+        left = _const_fold(e.left)
+        right = _const_fold(e.right)
+        if left is _NO_FOLD or right is _NO_FOLD:
+            return _NO_FOLD
+        try:
+            if e.op == "+":
+                return left + right
+            if e.op == "-":
+                return left - right
+            if e.op == "*":
+                return left * right
+            if e.op == "/":
+                return left / right
+            return left % right
+        except (TypeError, ZeroDivisionError):
+            return _NO_FOLD
+    return _NO_FOLD
 
 
 def _avg_json_object_bytes(entry) -> float:

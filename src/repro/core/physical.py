@@ -26,6 +26,7 @@ ACCESS_WARM = "warm"        # navigate via positional map / semi-index
 ACCESS_CACHE = "cache"      # serve from ViDa's data cache
 ACCESS_MEMORY = "memory"    # in-memory registered collection
 ACCESS_POSITIONS = "positions"  # carry (start,end) spans only (Figure 4d)
+ACCESS_INDEX = "index"      # resolve rows via a JIT value index + posmap fetch
 
 
 @dataclass
@@ -134,7 +135,16 @@ class PhysScan(PhysNode):
     populate_layout: str = "columns"
     pred: A.Expr | None = None
     #: equality pushed into a DBMS-source index lookup: (field, constant)
+    #: or (field, (constants...), "in") for IN-lists
     index_eq: tuple | None = None
+    #: ACCESS_INDEX probe spec for a JIT value index — ("eq", field, v),
+    #: ("in", field, (vs...)) or ("range", field, lo, hi, lo_incl, hi_incl).
+    #: The scan keeps ``pred`` as a recheck, so partial coverage and hash
+    #: false positives stay correct.
+    index_lookup: tuple | None = None
+    #: predicate-conjunct fields whose values the scan should emit as index
+    #: byproducts (grows/creates JIT value indexes while scanning)
+    index_emit: tuple = ()
     batch_size: int = DEFAULT_BATCH_SIZE
     parallel: int = 1
     #: execution substrate for a parallel scan: "thread" morsel workers share
@@ -343,7 +353,10 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
 
     pad = "  " * indent
     if isinstance(node, PhysScan):
-        extras = [f"access={node.access}"]
+        if node.access == ACCESS_INDEX and node.index_lookup is not None:
+            extras = [f"access=index[{node.index_lookup[1]}]"]
+        else:
+            extras = [f"access={node.access}"]
         if node.access in (ACCESS_COLD, ACCESS_WARM) and node.format in (
             "csv", "json", "array", "xls"
         ):
@@ -368,7 +381,14 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
                     "filter=vec" if node.vectorized_filter() else "filter=row"
                 )
         if node.index_eq is not None:
-            extras.append(f"index[{node.index_eq[0]}={node.index_eq[1]!r}]")
+            if len(node.index_eq) == 3 and node.index_eq[2] == "in":
+                extras.append(
+                    f"index[{node.index_eq[0]} in {node.index_eq[1]!r}]"
+                )
+            else:
+                extras.append(f"index[{node.index_eq[0]}={node.index_eq[1]!r}]")
+        if node.index_emit:
+            extras.append(f"index-emit=[{', '.join(node.index_emit)}]")
         return f"{pad}Scan({node.source} as {node.var}; {', '.join(extras)})"
     if isinstance(node, PhysExprScan):
         s = f"{pad}ExprScan({pretty(node.expr)} as {node.var}"

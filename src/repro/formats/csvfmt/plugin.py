@@ -423,6 +423,7 @@ class CSVSource:
         posmap_partial: PositionalMap | None = None,
         pred_fields: Sequence[str] | None = None,
         pred_kernel=None,
+        index_sink=None,
     ):
         """Batched scan: yield :class:`~repro.core.chunk.Chunk` objects.
 
@@ -445,6 +446,15 @@ class CSVSource:
         empty vector skips the batch, and the remaining columns materialise
         *only at the surviving indexes*. Yielded chunks are dense survivors;
         ``Chunk.scanned`` preserves the physical row count for accounting.
+
+        ``index_sink`` (an :class:`~repro.indexing.IndexPartial`) requests
+        value-index byproduct emission: for each of its fields, the scan
+        records the column's converted values for *every* physical row of
+        each batch — predicate columns are navigated densely before the
+        selection kernel narrows them, so pushed-down scans emit full
+        coverage for free. Batches a cleaning policy touched are skipped
+        (repairs desynchronise values from physical rows), but the sink's
+        row cursor still advances so morsel partials merge exactly.
         """
         from ...core.chunk import Chunk
 
@@ -494,15 +504,34 @@ class CSVSource:
         if push:
             pred_cols = self.field_indexes(list(pred_fields))
             pred_pos = {c: i for i, c in enumerate(pred_cols)}
+        sink = index_sink
+        sink_cols: dict[str, int] = {}
+        if sink is not None:
+            for f in sink.fields:
+                c = self.col_index.get(f)
+                if c is not None:
+                    sink_cols[f] = c
+            if not sink_cols:
+                sink = None
         for start, lines in self.iter_line_batches(batch_size, device=device,
                                                    record_anchors=record_anchors,
                                                    byte_range=byte_range,
                                                    start_row=start_row,
                                                    record_map=record_map):
+            if sink is not None:
+                # the row cursor advances whether or not this batch records,
+                # so byte-morsel partials always know their exact row count
+                sink.advance(start, len(lines))
             if push:
                 # late materialization: navigate predicate columns, run the
                 # selection kernel, then fetch the rest only for survivors
                 pcols = self._navigate_batch(pred_cols, lines, start)
+                if sink is not None:
+                    sink.record(start, {
+                        f: (pcols[pred_pos[c]] if c in pred_pos
+                            else self._navigate_batch([c], lines, start)[0])
+                        for f, c in sink_cols.items()
+                    })
                 sel = pred_kernel(*pcols)
                 if not sel:
                     # account the physically scanned lines, carry no rows
@@ -522,13 +551,24 @@ class CSVSource:
                 yield chunk
                 continue
             if navigate:
-                yield Chunk.from_columns(
-                    field_list, self._navigate_batch(cols, lines, start))
+                converted = self._navigate_batch(cols, lines, start)
+                if sink is not None:
+                    sink.record(start, {
+                        f: (converted[cols.index(c)] if c in cols
+                            else self._navigate_batch([c], lines, start)[0])
+                        for f, c in sink_cols.items()
+                    })
+                yield Chunk.from_columns(field_list, converted)
                 continue
             cells_rows = [line.split(delim) for line in lines]
             columns, selection = self._convert_clean_batch(
                 conv_cols, cells_rows, start, clean, validate
             )
+            if sink is not None and selection is None and clean is None:
+                vals = {f: columns[conv_cols.index(c)]
+                        for f, c in sink_cols.items() if c in conv_cols}
+                if vals:
+                    sink.record(start, vals)
             if whole:
                 names = self.columns
                 whole_rows = [dict(zip(names, vals)) for vals in zip(*columns)] \
@@ -693,6 +733,39 @@ class CSVSource:
                 line = raw.read_at(start, end - start).decode(self.options.encoding)
         return tuple(conv(self.posmap.field_in_line(line, row, c))
                      for c, conv in zip(cols, convs))
+
+    def fetch_rows(self, rows: Sequence[int], fields: Sequence[str],
+                   device=None) -> list[list]:
+        """Batched positional fetch: per-column value lists for ``rows``.
+
+        One file handle serves the whole batch (unlike :meth:`fetch_row`,
+        which opens per call) — this is the index-lookup access path's
+        workhorse, where a query fetches many scattered rows at once.
+        """
+        if not self.posmap.complete:
+            raise DataFormatError(
+                f"{self.path}: positional access requires a populated map; scan first"
+            )
+        cols = self.field_indexes(list(fields))
+        convs = [self.converter(c) for c in cols]
+        offsets = self.posmap.row_offsets
+        nrows = len(offsets)
+        encoding = self.options.encoding
+        out: list[list] = [[] for _ in cols]
+        pmf = self.posmap.field_in_line
+        with RawFile(self.path, device=device) as raw:
+            for row in rows:
+                start = offsets[row]
+                if row + 1 < nrows:
+                    line = raw.read_at(
+                        start, offsets[row + 1] - 1 - start
+                    ).decode(encoding)
+                else:
+                    raw.seek(start)
+                    line = raw.read().split(b"\n", 1)[0].decode(encoding)
+                for k, (c, conv) in enumerate(zip(cols, convs)):
+                    out[k].append(conv(pmf(line, row, c)))
+        return out
 
     def row_count(self) -> int:
         """Number of data rows (cheap once the positional map is complete)."""

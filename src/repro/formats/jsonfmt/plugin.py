@@ -236,16 +236,22 @@ class JSONSource:
         device=None,
         whole: bool = False,
         split=None,
+        index_sink=None,
     ):
         """Batched scan yielding :class:`~repro.core.chunk.Chunk` objects.
 
         ``paths`` become aligned columns; ``whole`` keeps the parsed objects
         on ``chunk.whole`` for scans that bind the full element. ``split``
         restricts the scan to one span-range morsel from :meth:`scan_splits`.
+
+        ``index_sink`` (an :class:`~repro.indexing.IndexPartial`) requests
+        value-index byproduct emission over its dotted paths; rows are
+        global semi-index span numbers, so partials merge without shifting.
         """
         from ...core.chunk import Chunk
 
         span_range = None
+        row = 0
         if split is not None and split.kind != "all":
             if split.kind != "spans":
                 raise DataFormatError(
@@ -253,10 +259,17 @@ class JSONSource:
                     f"{split.kind!r} morsel"
                 )
             span_range = (split.lo, split.hi)
+            row = split.lo
         paths = tuple(paths)
         for objs in self.scan_object_chunks(batch_size, device=device,
                                             span_range=span_range):
             columns = self.project_paths(objs, paths) if paths else []
+            if index_sink is not None:
+                index_sink.record(row, dict(zip(
+                    index_sink.fields,
+                    self.project_paths(objs, index_sink.fields),
+                )))
+            row += len(objs)
             yield Chunk.from_columns(paths, columns,
                                      whole=objs if whole or not paths else None)
 

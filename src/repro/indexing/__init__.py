@@ -1,0 +1,18 @@
+"""JIT secondary indexes: value-based access paths built as scan byproducts.
+
+ViDa's positional maps (paper §2.1) locate rows *positionally* as a
+byproduct of query execution. This package extends the same just-in-time
+philosophy to *value-based* access paths, following "Just-in-Time Index
+Compilation" (arXiv 1901.07627): while a scan's predicate kernel already
+holds a converted column in its hands, the values are recorded into a
+:class:`ValueIndex` — a hash index for equality probes plus lazily sorted
+runs for range probes — over exactly the row ranges the scan touched.
+Indexes grow incrementally across queries, merge across morsel workers
+like posmap partials, and are invalidated with the posmap when the
+underlying file changes.
+"""
+
+from .value_index import ValueIndex, IndexPartial
+from .registry import IndexRegistry
+
+__all__ = ["ValueIndex", "IndexPartial", "IndexRegistry"]

@@ -1,0 +1,83 @@
+"""Per-session registry of JIT value indexes.
+
+Indexes are keyed by ``(source name, source generation, field)``. The
+generation is the catalog's per-source file-generation token: it bumps
+whenever ``Catalog.check_freshness`` sees the file's fingerprint change,
+which is the same moment positional maps and cached columns are dropped —
+so a registry hit is by construction consistent with the bytes the posmap
+describes. A peek or adoption under a different generation silently drops
+the stale entry (second line of defense behind the session's freshness
+sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .value_index import IndexPartial, ValueIndex
+
+
+class IndexRegistry:
+    """Session-lifetime store of incrementally built value indexes."""
+
+    def __init__(self):
+        #: source -> (generation, {field -> ValueIndex})
+        self._sources: dict[str, tuple[int, dict[str, ValueIndex]]] = {}
+
+    def peek(self, source: str, generation: int,
+             field: str) -> ValueIndex | None:
+        """The index for ``source.field`` at ``generation``, or ``None``.
+        A generation mismatch evicts the stale source entry."""
+        hit = self._sources.get(source)
+        if hit is None:
+            return None
+        if hit[0] != generation:
+            del self._sources[source]
+            return None
+        return hit[1].get(field)
+
+    def fields(self, source: str, generation: int) -> tuple[str, ...]:
+        hit = self._sources.get(source)
+        if hit is None or hit[0] != generation:
+            return ()
+        return tuple(hit[1])
+
+    def adopt(self, source: str, generation: int,
+              partials: Sequence[IndexPartial]) -> int:
+        """Merge scan partials (in morsel order) into ``source``'s indexes.
+
+        Partials with ``local_rows`` (cold byte morsels) are shifted by the
+        cumulative ``rows_seen`` of the partials before them — the same
+        prefix-sum rule ``adopt_posmap_partials`` uses for offsets. Returns
+        the number of fields whose index actually gained rows (re-scans of
+        already-covered ranges add nothing and count nothing).
+        """
+        if not partials:
+            return 0
+        hit = self._sources.get(source)
+        if hit is None or hit[0] != generation:
+            by_field: dict[str, ValueIndex] = {}
+            self._sources[source] = (generation, by_field)
+        else:
+            by_field = hit[1]
+        grown: set[str] = set()
+        base = 0
+        for part in partials:
+            shift = base if part.local_rows else 0
+            for field, runs in part.runs.items():
+                if not runs:
+                    continue
+                idx = by_field.get(field)
+                if idx is None:
+                    idx = by_field[field] = ValueIndex(field)
+                for start, values in runs:
+                    if idx.add_run(start + shift, values):
+                        grown.add(field)
+            base += part.rows_seen
+        return len(grown)
+
+    def invalidate_source(self, source: str) -> None:
+        self._sources.pop(source, None)
+
+    def clear(self) -> None:
+        self._sources.clear()

@@ -1,0 +1,247 @@
+"""Value-index structures: hash entries + sorted runs over touched rows.
+
+A :class:`ValueIndex` maps column values to the (global) row numbers that
+hold them, but only for the row ranges a scan has actually touched — the
+``covered`` interval list is as much a part of the structure as the hash
+table. Lookups answer *within covered rows only*; the caller scans the
+complement (``uncovered_ranges``) with the original predicate, so a
+partially built index is always correct, never merely "mostly right".
+
+Lookup specs are plain tuples shared by the planner, runtime and engines:
+
+- ``("eq", field, value)``
+- ``("in", field, (v1, v2, ...))``
+- ``("range", field, lo, hi, lo_incl, hi_incl)`` with ``None`` open ends
+
+A lookup may return ``None`` (probe type unservable — e.g. a range probe
+on a value type with no sorted run); the caller falls back to a full scan.
+Candidate rows are always returned sorted ascending, and are a *superset*
+of the true matches within covered rows under engine semantics — the
+engines keep the original predicate as a recheck, so hash-equality quirks
+(``1 == 1.0 == True`` key collapse, NULL comparison semantics) can only
+produce false positives, never wrong answers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+
+class ValueIndex:
+    """Hash + sorted-run index over one field's covered row ranges."""
+
+    __slots__ = ("field", "entries", "covered", "_typed_runs")
+
+    def __init__(self, field: str):
+        self.field = field
+        #: value -> list of global row numbers holding it (covered rows only)
+        self.entries: dict[Any, list[int]] = {}
+        #: sorted disjoint [lo, hi) half-open row ranges already indexed
+        self.covered: list[tuple[int, int]] = []
+        self._typed_runs: dict[str, list] | None = None
+
+    # -- building ---------------------------------------------------------
+
+    def add_run(self, start: int, values: Sequence) -> int:
+        """Index ``values`` as rows ``[start, start+len)``, skipping any
+        subrange already covered (so re-scans of the same rows are free).
+        Returns the number of rows newly indexed."""
+        end = start + len(values)
+        if end <= start:
+            return 0
+        added = 0
+        entries = self.entries
+        for lo, hi in self._uncovered_within(start, end):
+            for row in range(lo, hi):
+                v = values[row - start]
+                try:
+                    bucket = entries.get(v)
+                    if bucket is None:
+                        entries[v] = [row]
+                    else:
+                        bucket.append(row)
+                except TypeError:
+                    # unhashable (nested JSON value): probes are scalar
+                    # consts, so an unindexed unhashable can never be a
+                    # false negative — safe to leave out of the hash table
+                    pass
+            added += hi - lo
+        if added:
+            self._merge_covered(start, end)
+            self._typed_runs = None
+        elif not self._covers(start, end):
+            # nothing hashed but rows were seen: still mark them covered
+            self._merge_covered(start, end)
+        return added
+
+    def _covers(self, lo: int, hi: int) -> bool:
+        i = bisect.bisect_right(self.covered, (lo, float("inf"))) - 1
+        return i >= 0 and self.covered[i][1] >= hi and self.covered[i][0] <= lo
+
+    def _uncovered_within(self, lo: int, hi: int):
+        """Subranges of [lo, hi) not yet covered, in ascending order."""
+        pos = lo
+        for clo, chi in self.covered:
+            if chi <= pos:
+                continue
+            if clo >= hi:
+                break
+            if clo > pos:
+                yield (pos, min(clo, hi))
+            pos = max(pos, chi)
+            if pos >= hi:
+                break
+        if pos < hi:
+            yield (pos, hi)
+
+    def _merge_covered(self, lo: int, hi: int) -> None:
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for clo, chi in self.covered:
+            if chi < lo or clo > hi:
+                if not placed and clo > hi:
+                    merged.append((lo, hi))
+                    placed = True
+                merged.append((clo, chi))
+            else:
+                lo = min(lo, clo)
+                hi = max(hi, chi)
+        if not placed:
+            merged.append((lo, hi))
+            merged.sort()
+        self.covered = merged
+
+    # -- coverage ---------------------------------------------------------
+
+    def indexed_rows(self) -> int:
+        return sum(hi - lo for lo, hi in self.covered)
+
+    def coverage(self, total_rows: int) -> float:
+        return self.indexed_rows() / max(1, total_rows)
+
+    def uncovered_ranges(self, total_rows: int) -> list[tuple[int, int]]:
+        """Complement of ``covered`` within ``[0, total_rows)``."""
+        out: list[tuple[int, int]] = []
+        pos = 0
+        for lo, hi in self.covered:
+            if lo >= total_rows:
+                break
+            if lo > pos:
+                out.append((pos, lo))
+            pos = max(pos, hi)
+            if pos >= total_rows:
+                break
+        if pos < total_rows:
+            out.append((pos, total_rows))
+        return out
+
+    # -- probing ----------------------------------------------------------
+
+    def lookup(self, spec: tuple) -> list[int] | None:
+        """Sorted candidate rows within covered ranges, or ``None`` when
+        this probe can't be served (caller falls back to a full scan)."""
+        kind = spec[0]
+        if kind == "eq":
+            return self._lookup_values((spec[2],))
+        if kind == "in":
+            return self._lookup_values(spec[2])
+        if kind == "range":
+            return self._lookup_range(*spec[2:])
+        return None
+
+    def _lookup_values(self, values: Sequence) -> list[int]:
+        rows: list[int] = []
+        for v in values:
+            try:
+                rows.extend(self.entries.get(v, ()))
+            except TypeError:
+                pass  # unhashable probe: no hashed value can equal it
+        rows.sort()
+        # IN-lists may repeat hash-equal values (e.g. (1, 1.0)); dedupe
+        out: list[int] = []
+        prev = None
+        for r in rows:
+            if r != prev:
+                out.append(r)
+                prev = r
+        return out
+
+    def _lookup_range(self, lo, hi, lo_incl: bool, hi_incl: bool):
+        probe = lo if lo is not None else hi
+        runs = self._sorted_runs()
+        if isinstance(probe, bool) or isinstance(probe, (int, float)):
+            run = runs["num"]
+        elif isinstance(probe, str):
+            run = runs["str"]
+        else:
+            return None  # no ordered domain for this probe type
+        i, j = 0, len(run)
+        if lo is not None:
+            i = (bisect.bisect_left(run, lo) if lo_incl
+                 else bisect.bisect_right(run, lo))
+        if hi is not None:
+            j = (bisect.bisect_right(run, hi) if hi_incl
+                 else bisect.bisect_left(run, hi))
+        rows: list[int] = []
+        for k in run[i:j]:
+            rows.extend(self.entries[k])
+        rows.sort()
+        return rows
+
+    def _sorted_runs(self) -> dict[str, list]:
+        """Lazily (re)built sorted key runs, partitioned by ordered type.
+
+        Comparisons against values outside these domains (None, nested
+        structures) raise in the engines too, so excluding them from the
+        runs cannot create false negatives."""
+        if self._typed_runs is None:
+            num: list = []
+            strs: list = []
+            for k in self.entries:
+                if isinstance(k, bool) or isinstance(k, (int, float)):
+                    num.append(k)
+                elif isinstance(k, str):
+                    strs.append(k)
+            num.sort()
+            strs.sort()
+            self._typed_runs = {"num": num, "str": strs}
+        return self._typed_runs
+
+
+class IndexPartial:
+    """Per-scan (or per-morsel) recorder of emitted column runs.
+
+    Mirrors the posmap-partial lifecycle: a scan records converted column
+    values batch by batch; the coordinator merges partials in morsel order
+    via :meth:`IndexRegistry.adopt`. ``local_rows`` marks partials whose
+    row numbers are morsel-local (cold byte-range morsels start counting
+    at 0); adoption shifts them by the preceding morsels' ``rows_seen``.
+    """
+
+    __slots__ = ("fields", "local_rows", "runs", "rows_seen")
+
+    def __init__(self, fields: Sequence[str], local_rows: bool = False):
+        self.fields = tuple(fields)
+        self.local_rows = local_rows
+        self.runs: dict[str, list[tuple[int, list]]] = {
+            f: [] for f in self.fields
+        }
+        self.rows_seen = 0
+
+    def record(self, start: int, columns: dict[str, list]) -> None:
+        """Record one batch's converted values per field; ``start`` is the
+        batch's first row (global, or morsel-local for byte morsels)."""
+        for field, values in columns.items():
+            run = self.runs.get(field)
+            if run is not None and values:
+                run.append((start, values))
+        self.advance(start, max((len(v) for v in columns.values()),
+                                default=0))
+
+    def advance(self, start: int, nrows: int) -> None:
+        """Note that rows ``[start, start+nrows)`` passed through the scan,
+        whether or not any field was recorded — byte-morsel row shifting
+        depends on an exact per-morsel row count."""
+        if start + nrows > self.rows_seen:
+            self.rows_seen = start + nrows

@@ -1,0 +1,299 @@
+"""JIT secondary indexes: value-based access paths built as scan byproducts.
+
+Covers the full lifecycle the subsystem promises:
+
+- emission: cold/warm chunked scans over a predicate column leave a value
+  index behind (hash entries + sorted runs over *touched* row ranges);
+- access-path selection: the planner upgrades repeated point/range/IN
+  filters to ``access=index`` (EXPLAIN + decisions proof), with a cheap
+  predicate recheck so partial-coverage indexes stay exact;
+- differentials: index-served answers bit-identical to full-scan baselines
+  (``enable_indexes=False``) on both engines, serial and DoP 2/4 on the
+  thread and process backends;
+- partial coverage: candidate fetches interleave with full scans of
+  uncovered holes in row order, and hole scans re-emit so coverage
+  converges;
+- invalidation: in-place mutation and append drop the index with the
+  positional map (per-source generation token);
+- morsel merge: byte-split partials carry morsel-local rows and merge
+  deterministically in morsel order.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.session import ViDa
+from repro.indexing import IndexPartial, IndexRegistry, ValueIndex
+
+ENGINES = ["jit", "static"]
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def data_dir(tmp_path):
+    rng = random.Random(17)
+    with open(tmp_path / "patients.csv", "w") as fh:
+        fh.write("id,age,city\n")
+        for i in range(6000):
+            fh.write(f"{i},{rng.randrange(91)},c{i % 13}\n")
+    with open(tmp_path / "regions.json", "w") as fh:
+        for i in range(3000):
+            fh.write('{"id": %d, "volume": %d, "meta": {"lab": "L%d"}}\n'
+                     % (i, rng.randrange(400), i % 7))
+    return tmp_path
+
+
+def _session(d, *, indexed=True, dop=1, backend="thread", engine="jit"):
+    db = ViDa(enable_cache=False, enable_indexes=indexed, parallelism=dop,
+              backend=backend, default_engine=engine)
+    db.register_csv("Patients", str(d / "patients.csv"))
+    db.register_json("Regions", str(d / "regions.json"))
+    return db
+
+
+POINT_Q = "for { p <- Patients, p.age = 33 } yield bag (id := p.id)"
+RANGE_Q = "for { p <- Patients, p.age < 7 } yield bag (id := p.id)"
+IN_Q = "for { p <- Patients, p.age in [3, 5, 9] } yield bag (id := p.id)"
+FOLD_Q = "for { p <- Patients, p.age = 30 + 3 } yield bag (id := p.id)"
+JSON_Q = "for { r <- Regions, r.volume = 123 } yield bag (id := r.id)"
+NESTED_Q = 'for { r <- Regions, r.meta.lab = "L2" } yield bag (id := r.id)'
+
+
+# ---------------------------------------------------------------------------
+# unit: ValueIndex structure
+# ---------------------------------------------------------------------------
+
+
+def test_value_index_lookup_kinds():
+    idx = ValueIndex("x")
+    idx.add_run(0, [5, 2, 5, None, 9, 2])
+    assert idx.lookup(("eq", "x", 5)) == [0, 2]
+    assert idx.lookup(("eq", "x", 404)) == []
+    assert idx.lookup(("in", "x", (2, 9))) == [1, 4, 5]
+    assert idx.lookup(("range", "x", 2, 5, True, False)) == [1, 5]
+    assert idx.lookup(("range", "x", None, 5, False, True)) == [0, 1, 2, 5]
+    # None never matches an ordered comparison (engines null-guard them)
+    assert 3 not in idx.lookup(("range", "x", 0, None, True, False))
+    # an unservable probe (no typed bound) falls back to a full scan
+    assert idx.lookup(("range", "x", None, None, False, False)) is None
+
+
+def test_value_index_coverage_merging():
+    idx = ValueIndex("x")
+    assert idx.add_run(0, [1, 2]) == 2
+    assert idx.add_run(4, [1, 2]) == 2
+    assert idx.covered == [(0, 2), (4, 6)]
+    # overlapping re-scan indexes only the uncovered slice
+    assert idx.add_run(1, [2, 3, 4]) == 2
+    assert idx.covered == [(0, 6)]
+    assert idx.add_run(0, [1, 2, 2, 3, 4, 1]) == 0  # fully covered: no-op
+    assert idx.coverage(8) == 0.75
+    assert idx.uncovered_ranges(8) == [(6, 8)]
+    assert idx.lookup(("eq", "x", 2)) == [1, 5]
+
+
+def test_registry_generation_and_morsel_merge():
+    reg = IndexRegistry()
+    # byte-morsel partials: local rows, merged in morsel order
+    p1 = IndexPartial(("x",), local_rows=True)
+    p1.record(0, {"x": [10, 11]})
+    p2 = IndexPartial(("x",), local_rows=True)
+    p2.record(0, {"x": [12, 10]})
+    assert reg.adopt("S", 1, [p1, p2]) == 1
+    idx = reg.peek("S", 1, "x")
+    assert idx.lookup(("eq", "x", 10)) == [0, 3]
+    assert idx.coverage(4) == 1.0
+    # a new generation invalidates everything under the old one
+    assert reg.peek("S", 2, "x") is None
+    assert reg.peek("S", 1, "x") is None
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: build on first scan, serve on repeats, differentials
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "query", [POINT_Q, RANGE_Q, IN_Q, FOLD_Q, JSON_Q, NESTED_Q])
+def test_index_served_answers_match_full_scan(data_dir, engine, query):
+    base = _session(data_dir, indexed=False, engine=engine)
+    db = _session(data_dir, indexed=True, engine=engine)
+    expect = base.query(query).value
+    r1 = db.query(query)  # cold: builds posmap/semi-index + value index
+    assert r1.value == expect
+    assert r1.stats.index_builds >= 1
+    r2 = db.query(query)  # warm repeat: index access path
+    assert r2.value == expect
+    assert r2.stats.index_hits == 1, r2.decisions.summary()
+    assert r2.stats.index_rows_served == len(expect)
+    assert "index" in r2.decisions.access.values()
+
+
+def test_explain_shows_index_access_path(data_dir):
+    db = _session(data_dir)
+    db.query(POINT_Q)
+    text = db.explain(POINT_Q)
+    assert "access=index[age]" in text
+    r = db.query(POINT_Q)
+    assert any("index lookup on Patients.age" in n for n in r.decisions.notes)
+    # IN-list matching goes through the same chooser
+    db.query(IN_Q)
+    assert "access=index[age]" in db.explain(IN_Q)
+
+
+@pytest.mark.parametrize("backend,dop", [("thread", 2), ("thread", 4),
+                                         ("process", 2), ("process", 4)])
+def test_parallel_differentials(data_dir, backend, dop):
+    serial = _session(data_dir, indexed=True)
+    expect1 = serial.query(POINT_Q).value
+    expect2 = serial.query(POINT_Q).value
+    assert expect1 == expect2
+    db = _session(data_dir, indexed=True, dop=dop, backend=backend)
+    try:
+        r1 = db.query(POINT_Q)
+        r2 = db.query(POINT_Q)
+        assert r1.value == expect1
+        assert r2.value == expect2
+    finally:
+        db.close()
+
+
+def test_thread_sharded_build_matches_serial(data_dir):
+    """A DoP-4 cold scan builds the index from byte-split morsel partials;
+    the merged index must equal the serially-built one."""
+    serial = _session(data_dir, indexed=True)
+    serial.query(POINT_Q)
+    db = _session(data_dir, indexed=True, dop=4)
+    r1 = db.query(POINT_Q)
+    assert r1.stats.index_builds >= 1
+    gen = db.catalog.get("Patients").generation
+    sgen = serial.catalog.get("Patients").generation
+    sharded = db.indexes.peek("Patients", gen, "age")
+    built = serial.indexes.peek("Patients", sgen, "age")
+    assert sharded is not None and built is not None
+    assert sharded.entries == built.entries
+    assert sharded.covered == built.covered
+    r2 = db.query(POINT_Q)
+    assert r2.stats.index_hits == 1
+    assert r2.value == serial.query(POINT_Q).value
+
+
+def test_repeat_queries_do_not_rebuild(data_dir):
+    db = _session(data_dir)
+    db.query(POINT_Q)
+    r2 = db.query(POINT_Q)
+    r3 = db.query(POINT_Q)
+    # covered ranges are never re-indexed: no growth on repeats
+    assert r2.stats.index_builds == 0
+    assert r3.stats.index_builds == 0
+
+
+# ---------------------------------------------------------------------------
+# partial coverage: recheck + hole scans + convergence
+# ---------------------------------------------------------------------------
+
+
+def test_partial_coverage_recheck_and_convergence(data_dir):
+    db = _session(data_dir)
+    full = db.query(POINT_Q).value
+
+    entry = db.catalog.get("Patients")
+    total = len(entry.plugin.posmap.row_offsets)
+    ages = []
+    with open(data_dir / "patients.csv") as fh:
+        next(fh)
+        for line in fh:
+            ages.append(int(line.split(",")[1]))
+
+    # replace the organically-built index with a half-coverage one
+    db.indexes.invalidate_source("Patients")
+    part = IndexPartial(("age",))
+    part.record(0, {"age": ages[: total // 2]})
+    db.indexes.adopt("Patients", entry.generation, [part])
+    assert db.indexes.peek("Patients", entry.generation,
+                           "age").coverage(total) == 0.5
+
+    r = db.query(POINT_Q)
+    assert r.value == full  # candidates + hole scan, bit-identical
+    assert r.stats.index_hits == 1
+    assert r.stats.raw_rows > r.stats.index_rows_served  # holes were scanned
+    # the hole scan re-emitted: coverage converged to 1.0
+    assert db.indexes.peek("Patients", entry.generation,
+                           "age").coverage(total) == 1.0
+    r2 = db.query(POINT_Q)
+    assert r2.value == full
+    assert r2.stats.raw_rows == r2.stats.index_rows_served  # no holes left
+
+
+def test_low_coverage_rejected_with_note(data_dir):
+    db = _session(data_dir)
+    db.query(POINT_Q)
+    entry = db.catalog.get("Patients")
+    db.indexes.invalidate_source("Patients")
+    tiny = IndexPartial(("age",))
+    tiny.record(0, {"age": [33] * 10})
+    db.indexes.adopt("Patients", entry.generation, [tiny])
+    r = db.query(POINT_Q)
+    assert r.stats.index_hits == 0
+    assert any("rejected (coverage" in n for n in r.decisions.notes)
+
+
+# ---------------------------------------------------------------------------
+# invalidation
+# ---------------------------------------------------------------------------
+
+
+def _touch(path):
+    time.sleep(0.01)
+    os.utime(path)
+
+
+def test_append_invalidates_and_rebuilds(data_dir):
+    db = _session(data_dir)
+    db.query(POINT_Q)
+    before = db.query(POINT_Q)
+    assert before.stats.index_hits == 1
+    with open(data_dir / "patients.csv", "a") as fh:
+        fh.write("99999,33,cX\n")
+    _touch(data_dir / "patients.csv")
+    r = db.query(POINT_Q)
+    assert r.stats.index_hits == 0  # stale index dropped, full scan re-ran
+    assert any(rec["id"] == 99999 for rec in r.value)
+    r2 = db.query(POINT_Q)
+    assert r2.stats.index_hits == 1  # rebuilt as a byproduct of the re-scan
+    assert r2.value == r.value
+
+
+def test_inplace_mutation_invalidates(data_dir):
+    db = _session(data_dir)
+    db.query(POINT_Q)
+    old = db.query(POINT_Q).value
+    lines = (data_dir / "patients.csv").read_text().splitlines(True)
+    lines[1] = "0,33,c0\n"  # row 0 now matches
+    (data_dir / "patients.csv").write_text("".join(lines))
+    _touch(data_dir / "patients.csv")
+    r = db.query(POINT_Q)
+    assert {rec["id"] for rec in r.value} == {rec["id"] for rec in old} | {0}
+
+
+# ---------------------------------------------------------------------------
+# stats plumbing + opt-out
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_sessions_never_use_indexes(data_dir):
+    db = _session(data_dir, indexed=False)
+    db.query(POINT_Q)
+    r = db.query(POINT_Q)
+    assert r.stats.index_builds == 0
+    assert r.stats.index_hits == 0
+    assert "index" not in r.decisions.access.values()
+    assert "access=index" not in r.plan_text
