@@ -3,6 +3,9 @@
 Public API:
 
 - :class:`ViDa` — the session facade: register raw files, run queries.
+- :class:`EngineContext` — shared engine state (cache, posmaps, indexes,
+  compile cache) many :class:`ViDa` tenant sessions multiplex over.
+- :mod:`repro.server` — asyncio NDJSON query server over one context.
 - :mod:`repro.mcc` — the monoid comprehension calculus (parse/normalize/…).
 - :mod:`repro.formats` — raw-format plugins (CSV, JSON, arrays, XLS).
 - :mod:`repro.warehouse` — the baseline systems the paper compares against.
@@ -11,6 +14,7 @@ Public API:
 - :mod:`repro.storage` — tracked I/O and simulated storage devices.
 """
 
+from .core.engine import EngineContext, EngineStats, QuotaCacheView
 from .core.session import QueryResult, QueryStats, ViDa
 from .errors import (
     CatalogError,
@@ -30,7 +34,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CatalogError", "CleaningError", "CodegenError", "DataFormatError",
-    "ExecutionError", "ParseError", "PlanningError", "QueryResult",
-    "QueryStats", "StorageError", "TypeCheckError", "ViDa", "ViDaError",
+    "EngineContext", "EngineStats", "ExecutionError", "ParseError",
+    "PlanningError", "QueryResult", "QueryStats", "QuotaCacheView",
+    "StorageError", "TypeCheckError", "ViDa", "ViDaError",
     "WarehouseError", "__version__",
 ]

@@ -14,6 +14,7 @@ updates invalidate all entries of the affected source (paper §2.1).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -48,7 +49,13 @@ class CacheEntry:
 
 
 class DataCache:
-    """Byte-budgeted, LRU, multi-layout field cache."""
+    """Byte-budgeted, LRU, multi-layout field cache.
+
+    Concurrency-safe for many tenant sessions: every public operation runs
+    under one reentrant mutex (lookup mutates LRU state, admissions merge
+    and evict), so interleaved scans can never observe a half-merged entry.
+    The mutex is a leaf lock — nothing else is acquired while holding it.
+    """
 
     def __init__(
         self,
@@ -59,16 +66,19 @@ class DataCache:
         self.policy = policy or DEFAULT_POLICY
         self._entries: dict[tuple, CacheEntry] = {}
         self._clock = itertools.count()
+        self._mutex = threading.RLock()
         self.stats = CacheStats()
 
     # -- inspection ---------------------------------------------------------
 
     @property
     def used_bytes(self) -> int:
-        return sum(e.cached.nbytes for e in self._entries.values())
+        with self._mutex:
+            return sum(e.cached.nbytes for e in self._entries.values())
 
     def entries(self) -> list[CacheEntry]:
-        return list(self._entries.values())
+        with self._mutex:
+            return list(self._entries.values())
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,25 +93,26 @@ class DataCache:
         Preference order: exact columnar cover, then whole-element layouts
         (objects > bson > json_text). ``layouts`` restricts candidates.
         """
-        self.stats.lookups += 1
-        ranked: list[tuple[int, CacheEntry]] = []
-        rank = {"columns": 0, "rows": 1, "objects": 2, "bson": 3,
-                "json_text": 4, "positions": 5}
-        for entry in self._entries.values():
-            if entry.source != source:
-                continue
-            if layouts is not None and entry.cached.layout not in layouts:
-                continue
-            if entry.cached.covers(fields):
-                ranked.append((rank.get(entry.cached.layout, 9), entry))
-        if not ranked:
-            return None
-        ranked.sort(key=lambda pair: pair[0])
-        entry = ranked[0][1]
-        entry.last_used = next(self._clock)
-        entry.uses += 1
-        self.stats.hits += 1
-        return entry
+        with self._mutex:
+            self.stats.lookups += 1
+            ranked: list[tuple[int, CacheEntry]] = []
+            rank = {"columns": 0, "rows": 1, "objects": 2, "bson": 3,
+                    "json_text": 4, "positions": 5}
+            for entry in self._entries.values():
+                if entry.source != source:
+                    continue
+                if layouts is not None and entry.cached.layout not in layouts:
+                    continue
+                if entry.cached.covers(fields):
+                    ranked.append((rank.get(entry.cached.layout, 9), entry))
+            if not ranked:
+                return None
+            ranked.sort(key=lambda pair: pair[0])
+            entry = ranked[0][1]
+            entry.last_used = next(self._clock)
+            entry.uses += 1
+            self.stats.hits += 1
+            return entry
 
     def peek(self, source: str, fields: Sequence[str], whole: bool = False) -> bool:
         """Non-counting check: could ``fields`` of ``source`` be cache-served?
@@ -110,16 +121,17 @@ class DataCache:
         object-ish layouts (objects / bson / json_text) can provide.
         """
         whole_layouts = ("objects", "bson", "json_text")
-        for e in self._entries.values():
-            if e.source != source or e.cached.layout == "positions":
-                continue
-            if whole:
-                if e.cached.layout in whole_layouts and not e.cached.fields:
+        with self._mutex:
+            for e in self._entries.values():
+                if e.source != source or e.cached.layout == "positions":
+                    continue
+                if whole:
+                    if e.cached.layout in whole_layouts and not e.cached.fields:
+                        return True
+                    continue
+                if e.cached.covers(fields):
                     return True
-                continue
-            if e.cached.covers(fields):
-                return True
-        return False
+            return False
 
     # -- admission ---------------------------------------------------------------
 
@@ -140,9 +152,10 @@ class DataCache:
         attribute locality reach the paper's ~80% cache service rate.
         """
         cached = materialize(layout, fields, rows)
-        if layout == "columns":
-            cached = self._merge_columns(source, cached)
-        return self._admit(source, cached, expected_reuse)
+        with self._mutex:
+            if layout == "columns":
+                cached = self._merge_columns(source, cached)
+            return self._admit(source, cached, expected_reuse)
 
     def put_columns(
         self,
@@ -157,20 +170,23 @@ class DataCache:
         per-row tuple round-trip; the column lists are adopted as-is.
         """
         cached = materialize_columns(fields, columns)
-        cached = self._merge_columns(source, cached)
-        return self._admit(source, cached, expected_reuse)
+        with self._mutex:
+            cached = self._merge_columns(source, cached)
+            return self._admit(source, cached, expected_reuse)
 
     def _admit(self, source: str, cached: CachedData,
                expected_reuse: int) -> CacheEntry | None:
-        if not self.policy.admit(cached.nbytes, self.budget_bytes, expected_reuse):
-            self.stats.rejections += 1
-            return None
-        entry = CacheEntry(source, cached, last_used=next(self._clock))
-        self._entries.pop(entry.key, None)
-        self._entries[entry.key] = entry
-        self.stats.admissions += 1
-        self._evict_to_budget(protected=entry.key)
-        return self._entries.get(entry.key)
+        with self._mutex:
+            if not self.policy.admit(cached.nbytes, self.budget_bytes,
+                                     expected_reuse):
+                self.stats.rejections += 1
+                return None
+            entry = CacheEntry(source, cached, last_used=next(self._clock))
+            self._entries.pop(entry.key, None)
+            self._entries[entry.key] = entry
+            self.stats.admissions += 1
+            self._evict_to_budget(protected=entry.key)
+            return self._entries.get(entry.key)
 
     def _merge_columns(self, source: str, cached: CachedData) -> CachedData:
         """Fold existing aligned columnar entries of ``source`` into ``cached``."""
@@ -215,11 +231,14 @@ class DataCache:
 
     def invalidate_source(self, source: str) -> int:
         """Drop every entry of ``source`` (in-place update handling)."""
-        victims = [k for k, e in self._entries.items() if e.source == source]
-        for k in victims:
-            del self._entries[k]
-        self.stats.invalidations += len(victims)
-        return len(victims)
+        with self._mutex:
+            victims = [k for k, e in self._entries.items()
+                       if e.source == source]
+            for k in victims:
+                del self._entries[k]
+            self.stats.invalidations += len(victims)
+            return len(victims)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()

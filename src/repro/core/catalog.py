@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -56,16 +57,44 @@ class CatalogEntry:
 
 
 class Catalog:
-    """Name → :class:`CatalogEntry` registry with update detection."""
+    """Name → :class:`CatalogEntry` registry with update detection.
+
+    Safe to share across sessions/threads: registration and name lookups
+    serialise on a registry lock, and each source carries a **per-source
+    lock** (:meth:`source_lock`) that makes generation bumps and
+    auxiliary-structure adoption mutually exclusive — the atomic
+    adopt-or-discard gate every concurrent merge point goes through.
+    """
 
     def __init__(self):
         self._entries: dict[str, CatalogEntry] = {}
+        self._lock = threading.Lock()
+        self._source_locks: dict[str, threading.Lock] = {}
+
+    def source_lock(self, name: str) -> threading.Lock:
+        """The lock serialising ``name``'s freshness checks, generation
+        bumps, and posmap/index/cache adoptions. Survives re-registration
+        (keyed by name, not entry), so stale adopters still serialise."""
+        with self._lock:
+            lock = self._source_locks.get(name)
+            if lock is None:
+                lock = self._source_locks[name] = threading.Lock()
+            return lock
 
     # -- registration ---------------------------------------------------------
 
     def _check_free(self, name: str) -> None:
         if name in self._entries:
             raise CatalogError(f"source {name!r} is already registered")
+
+    def _install(self, name: str, entry: CatalogEntry) -> CatalogEntry:
+        """Atomically publish a built entry (plugin I/O stays outside the
+        lock; the registration races of two tenants resolve to one error)."""
+        with self._lock:
+            if name in self._entries:
+                raise CatalogError(f"source {name!r} is already registered")
+            self._entries[name] = entry
+            return entry
 
     def register_csv(
         self,
@@ -88,8 +117,7 @@ class Catalog:
             options={"delimiter": delimiter, "header": header},
         )
         entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
-        self._entries[name] = entry
-        return entry
+        return self._install(name, entry)
 
     def register_json(self, name: str, path: str | os.PathLike) -> CatalogEntry:
         """Register a JSON file (NDJSON or top-level array) as a source."""
@@ -100,8 +128,7 @@ class Catalog:
             access_paths=("sequential", "positional"), path=os.fspath(path),
         )
         entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
-        self._entries[name] = entry
-        return entry
+        return self._install(name, entry)
 
     def register_array(
         self, name: str, path: str | os.PathLike, dim_names: Sequence[str] | None = None
@@ -114,8 +141,7 @@ class Catalog:
             access_paths=("sequential", "positional"), path=os.fspath(path),
         )
         entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
-        self._entries[name] = entry
-        return entry
+        return self._install(name, entry)
 
     def register_xls(
         self, name: str, path: str | os.PathLike, sheet: str | None = None
@@ -130,8 +156,7 @@ class Catalog:
             options={"sheet": sheet_name},
         )
         entry = CatalogEntry(desc, plugin, FileFingerprint.of(path))
-        self._entries[name] = entry
-        return entry
+        return self._install(name, entry)
 
     def register_memory(
         self, name: str, data: Sequence, elem_type: T.Type | None = None
@@ -150,8 +175,7 @@ class Catalog:
             access_paths=("sequential",),
         )
         entry = CatalogEntry(desc, None, None, data=data)
-        self._entries[name] = entry
-        return entry
+        return self._install(name, entry)
 
     def register_dbms(self, name: str, store, table: str) -> CatalogEntry:
         """Register a warehouse store's table/collection as a source.
@@ -169,8 +193,7 @@ class Catalog:
             options={"table": table},
         )
         entry = CatalogEntry(desc, plugin, None)
-        self._entries[name] = entry
-        return entry
+        return self._install(name, entry)
 
     def register_auto(self, name: str, path: str | os.PathLike) -> CatalogEntry:
         """Register a file of unknown format via schema learning (§3.1)."""
@@ -186,9 +209,10 @@ class Catalog:
         raise CatalogError(f"cannot auto-register format {desc.format!r}")
 
     def deregister(self, name: str) -> None:
-        if name not in self._entries:
-            raise CatalogError(f"unknown source {name!r}")
-        del self._entries[name]
+        with self._lock:
+            if name not in self._entries:
+                raise CatalogError(f"unknown source {name!r}")
+            del self._entries[name]
 
     # -- lookup ---------------------------------------------------------------
 
@@ -215,14 +239,24 @@ class Catalog:
     def check_freshness(self, name: str) -> bool:
         """True if the backing file is unchanged; False after dropping stale
         auxiliary structures (paper §2.1: in-place updates drop auxiliaries).
+
+        The re-fingerprint and generation bump run atomically under the
+        source lock: of N threads observing the same mutation, exactly one
+        bumps the generation (the rest re-check under the lock and see the
+        refreshed fingerprint) — a double bump would strand in-flight
+        index/posmap rebuilds keyed on the intermediate token.
         """
         entry = self.get(name)
         if entry.fingerprint is None or entry.description.path is None:
             return True
         if entry.fingerprint.matches(entry.description.path):
             return True
-        if hasattr(entry.plugin, "invalidate_auxiliary"):
-            entry.plugin.invalidate_auxiliary()
-        entry.fingerprint = FileFingerprint.of(entry.description.path)
-        entry.generation = next(_GENERATIONS)
+        with self.source_lock(name):
+            # re-check: another thread may have refreshed while we waited
+            if entry.fingerprint.matches(entry.description.path):
+                return True
+            if hasattr(entry.plugin, "invalidate_auxiliary"):
+                entry.plugin.invalidate_auxiliary()
+            entry.fingerprint = FileFingerprint.of(entry.description.path)
+            entry.generation = next(_GENERATIONS)
         return False

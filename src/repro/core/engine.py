@@ -1,0 +1,227 @@
+"""Process-wide engine context: warm state shared by many tenant sessions.
+
+The paper's economics — pay the scan cost once, amortise positional maps,
+data caches and value indexes across later queries — only compound when
+that JIT-built state outlives a single session. :class:`EngineContext`
+owns everything that is a property of the *data* rather than of one user:
+the catalog, the shared :class:`~repro.caching.DataCache`, the
+:class:`~repro.indexing.IndexRegistry`, the JIT compile cache, the
+worker-process pool, and cross-tenant sharing statistics. A
+:class:`~repro.core.session.ViDa` session borrows all of it and keeps only
+per-tenant concerns (language bindings, cleaning policies, knobs, quotas).
+
+Concurrency contract (ARCHITECTURE.md §Engine vs Session):
+
+- every auxiliary-structure merge point (positional-map adoption, value-
+  index adoption, cache admission) is an **atomic adopt-or-discard**
+  operation: it runs under the catalog's per-source lock and compares the
+  source's generation token captured at scan start against the current
+  one — two sessions racing a cold scan of the same file produce exactly
+  one winner and zero torn state, and a scan of a since-mutated file can
+  never poison fresh structures;
+- lock order is always ``catalog source lock → structure-internal lock``
+  (DataCache / IndexRegistry / plugin auxiliary locks are leaves and never
+  taken first), so the context cannot deadlock;
+- the worker-process pool is refcounted by attached sessions: the last
+  session out shuts it down, a later attach respawns it lazily.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..caching import AdmissionPolicy, DataCache
+from ..errors import ViDaError
+from ..indexing import IndexRegistry
+from .catalog import Catalog
+from .executor.engine import JITExecutor
+from .executor.static_engine import StaticExecutor
+
+
+@dataclass
+class EngineStats:
+    """Cross-tenant sharing counters (cache internals live in CacheStats)."""
+
+    #: queries executed across every attached session
+    queries: int = 0
+    #: positional maps merged into a source (one winner per cold race)
+    posmap_adoptions: int = 0
+    #: completed posmap partials discarded because another scan won the
+    #: race (map already complete) or the file's generation moved on
+    posmap_discards: int = 0
+    #: value-index adoptions that grew at least one field's index
+    index_adoptions: int = 0
+    #: index partials dropped at the generation-token gate
+    index_discards: int = 0
+    #: cache admissions dropped because the source mutated mid-query
+    stale_admissions_dropped: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+
+
+class QuotaCacheView:
+    """Per-tenant view of the shared cache that meters *writes* only.
+
+    Reads (lookups, peeks) pass straight through — a tenant always benefits
+    from data other tenants warmed. Admissions are charged against the
+    tenant's byte quota and refused once it is exhausted, so one noisy
+    tenant cannot churn the shared cache. All other attributes delegate.
+    """
+
+    def __init__(self, cache: DataCache, quota_bytes: int):
+        self._cache = cache
+        self.quota_bytes = quota_bytes
+        self.admitted_bytes = 0
+        self.writes_denied = 0
+        self._quota_lock = threading.Lock()
+
+    def _allow(self) -> bool:
+        with self._quota_lock:
+            if self.admitted_bytes >= self.quota_bytes:
+                self.writes_denied += 1
+                return False
+            return True
+
+    def _charge(self, entry):
+        if entry is not None:
+            with self._quota_lock:
+                self.admitted_bytes += entry.cached.nbytes
+        return entry
+
+    def put(self, *args, **kwargs):
+        if not self._allow():
+            return None
+        return self._charge(self._cache.put(*args, **kwargs))
+
+    def put_columns(self, *args, **kwargs):
+        if not self._allow():
+            return None
+        return self._charge(self._cache.put_columns(*args, **kwargs))
+
+    def put_cached(self, *args, **kwargs):
+        if not self._allow():
+            return None
+        return self._charge(self._cache.put_cached(*args, **kwargs))
+
+    def __getattr__(self, name):
+        return getattr(self._cache, name)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class EngineContext:
+    """Shared, concurrency-safe virtualization state for N sessions."""
+
+    def __init__(
+        self,
+        cache_budget_bytes: int = 256 << 20,
+        admission_policy: AdmissionPolicy | None = None,
+    ):
+        self.catalog = Catalog()
+        self.cache = DataCache(cache_budget_bytes, admission_policy)
+        self.indexes = IndexRegistry()
+        self.stats = EngineStats()
+        self.jit = JITExecutor(self.catalog)
+        self.static = StaticExecutor(self.catalog)
+        self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._sessions = 0
+        self._pool = None
+        self._closed = False
+
+    # -- session refcounting -------------------------------------------------
+
+    def attach(self) -> None:
+        """Register one session against the context (ViDa.__init__)."""
+        with self._lock:
+            if self._closed:
+                raise ViDaError("engine context is closed")
+            self._sessions += 1
+            self.stats.sessions_opened += 1
+
+    def detach(self) -> None:
+        """Deregister one session; the last one out shuts the worker pool
+        (a later attach respawns it lazily). Idempotent per session —
+        :meth:`ViDa.close` guards against double-detach."""
+        with self._lock:
+            if self._sessions > 0:
+                self._sessions -= 1
+                self.stats.sessions_closed += 1
+            if self._sessions == 0 and self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return self._sessions
+
+    # -- the shared worker-process pool -------------------------------------
+
+    def worker_pool(self, parallelism: int):
+        """The context's worker-process pool, spawned on first request.
+
+        The pool is sized by the first requester; a ProcessPoolExecutor
+        cannot grow, so later sessions asking for more workers share the
+        existing pool (the planner still caps each scan's DoP at the
+        session's own ``parallelism``).
+        """
+        from .executor.procpool import WorkerPool
+
+        with self._lock:
+            if self._closed:
+                raise ViDaError("engine context is closed")
+            if self._pool is None:
+                self._pool = WorkerPool(parallelism)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the context down for good: the pool dies and any session
+        still attached (or attached later) gets a clear error."""
+        with self._lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- cross-tenant statistics ---------------------------------------------
+
+    def count(self, **deltas: int) -> None:
+        """Atomically bump EngineStats counters (runtime merge points)."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+
+    def stats_snapshot(self) -> dict:
+        """One JSON-able view of engine-level sharing state (server /stats)."""
+        with self._stats_lock:
+            engine = {
+                "queries": self.stats.queries,
+                "sessions": self._sessions,
+                "sessions_opened": self.stats.sessions_opened,
+                "sessions_closed": self.stats.sessions_closed,
+                "posmap_adoptions": self.stats.posmap_adoptions,
+                "posmap_discards": self.stats.posmap_discards,
+                "index_adoptions": self.stats.index_adoptions,
+                "index_discards": self.stats.index_discards,
+                "stale_admissions_dropped": self.stats.stale_admissions_dropped,
+            }
+        cs = self.cache.stats
+        engine["cache"] = {
+            "lookups": cs.lookups, "hits": cs.hits,
+            "admissions": cs.admissions, "rejections": cs.rejections,
+            "evictions": cs.evictions, "invalidations": cs.invalidations,
+            "entries": len(self.cache), "used_bytes": self.cache.used_bytes,
+        }
+        js = self.jit.stats
+        engine["compile_cache"] = {
+            "compilations": js.compilations, "hits": js.cache_hits,
+            "evictions": js.evictions,
+        }
+        return engine

@@ -3,11 +3,14 @@
 Compilation is cheap (Python's ``compile`` on a few hundred lines) but not
 free, so compiled queries are memoised by plan fingerprint — re-running the
 same query shape skips codegen, the analogue of ViDa reusing generated
-operators across a workload with locality.
+operators across a workload with locality. The cache is engine-wide: every
+tenant session of an :class:`~repro.core.engine.EngineContext` shares it,
+so one tenant's compilation warms the next tenant's identical query shape.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..codegen.compiler import CompiledQuery, QueryCompiler
@@ -29,9 +32,14 @@ class JITStats:
 class JITExecutor:
     """Compiles plans to Python functions; caches compilations (true LRU).
 
-    ``vector_filters`` is forwarded to the compiler: True (default) emits
-    selection-vector filter kernels and vectorized join build/probe; False
-    restores row-at-a-time evaluation (the differential/benchmark baseline).
+    Concurrency-safe and multi-tenant: cache keys include the session's
+    ``vector_filters`` mode (the same plan compiles to different kernels
+    under each mode), LRU bookkeeping runs under a mutex, and compilation
+    itself happens outside the lock — two sessions racing the same cold
+    plan compile twice, the second insert wins, nothing corrupts.
+
+    ``vector_filters`` at construction sets the default mode for
+    :meth:`compile` calls that don't pass one (standalone uses).
     """
 
     def __init__(self, catalog, max_cached: int = 256,
@@ -41,23 +49,30 @@ class JITExecutor:
         self.vector_filters = vector_filters
         # insertion-ordered dict used as an LRU: hits move to the end, so
         # the front is always the least-recently-used entry
-        self._compiled: dict[str, CompiledQuery] = {}
+        self._compiled: dict[tuple, CompiledQuery] = {}
+        self._mutex = threading.Lock()
         self.stats = JITStats()
 
-    def compile(self, plan: PhysReduce) -> CompiledQuery:
-        key = plan_fingerprint(plan)
-        hit = self._compiled.pop(key, None)
-        if hit is not None:
-            self._compiled[key] = hit  # move-to-end: hot keys survive eviction
-            self.stats.cache_hits += 1
-            return hit
+    def compile(self, plan: PhysReduce,
+                vector_filters: bool | None = None) -> CompiledQuery:
+        if vector_filters is None:
+            vector_filters = self.vector_filters
+        key = (bool(vector_filters), plan_fingerprint(plan))
+        with self._mutex:
+            hit = self._compiled.pop(key, None)
+            if hit is not None:
+                self._compiled[key] = hit  # move-to-end: hot keys survive
+                self.stats.cache_hits += 1
+                return hit
         compiled = QueryCompiler(
-            self.catalog, vector_filters=self.vector_filters).compile(plan)
-        self.stats.compilations += 1
-        if len(self._compiled) >= self.max_cached:
-            self._compiled.pop(next(iter(self._compiled)))
-            self.stats.evictions += 1
-        self._compiled[key] = compiled
+            self.catalog, vector_filters=vector_filters).compile(plan)
+        with self._mutex:
+            self.stats.compilations += 1
+            if key not in self._compiled and \
+                    len(self._compiled) >= self.max_cached:
+                self._compiled.pop(next(iter(self._compiled)))
+                self.stats.evictions += 1
+            self._compiled[key] = compiled
         return compiled
 
     def execute(self, plan: PhysReduce, runtime):

@@ -28,6 +28,7 @@ from __future__ import annotations
 import array
 import multiprocessing
 import pickle
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -390,21 +391,39 @@ def _noop(_i: int) -> int:
 
 
 class WorkerPool:
-    """Lazily-spawned, session-lifetime ``ProcessPoolExecutor`` (spawn
+    """Lazily-spawned, engine-lifetime ``ProcessPoolExecutor`` (spawn
     context, so workers are safe regardless of parent threads) reused across
-    queries — process spawn is a per-session fixed cost, not per-query."""
+    queries and *shared by every session* of an engine context — process
+    spawn is a per-engine fixed cost, not per-query or per-tenant.
+
+    Lifecycle is concurrency-safe and idempotent: sessions are refcounted
+    by the owning :class:`~repro.core.engine.EngineContext`, which calls
+    :meth:`shutdown` when the last one detaches; repeated shutdowns are
+    no-ops, and submitting against a permanently closed pool raises a clear
+    error instead of hanging on a dead executor.
+    """
 
     def __init__(self, max_workers: int):
         self.max_workers = max(1, int(max_workers))
         self._executor: ProcessPoolExecutor | None = None
+        self._mutex = threading.Lock()
+        self._closed = False
 
     def executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            ctx = multiprocessing.get_context("spawn")
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=ctx
-            )
-        return self._executor
+        with self._mutex:
+            if self._closed:
+                from ...errors import ExecutionError
+
+                raise ExecutionError(
+                    "worker pool is permanently closed (engine context shut "
+                    "down); open a new session against a live context"
+                )
+            if self._executor is None:
+                ctx = multiprocessing.get_context("spawn")
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=ctx
+                )
+            return self._executor
 
     def prestart(self) -> None:
         """Spawn and warm every worker up front (benchmarks call this so
@@ -412,7 +431,13 @@ class WorkerPool:
         ex = self.executor()
         list(ex.map(_noop, range(self.max_workers * 2)))
 
-    def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+    def shutdown(self, permanent: bool = True) -> None:
+        """Reap the worker processes. Idempotent; ``permanent`` (the
+        default — the engine context only shuts a pool it is discarding)
+        additionally poisons the pool so later submits fail fast."""
+        with self._mutex:
+            if permanent:
+                self._closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None

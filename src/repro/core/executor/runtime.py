@@ -92,9 +92,14 @@ class QueryRuntime:
         row_limit: int | None = None,
         process_pool=None,
         indexes=None,
+        engine=None,
     ):
         self.catalog = catalog
         self.cache = cache
+        #: owning :class:`~repro.core.engine.EngineContext` (None in worker
+        #: children and standalone uses) — receives cross-tenant sharing
+        #: counters from the adopt-or-discard merge points
+        self.engine = engine
         #: session-wide :class:`~repro.indexing.IndexRegistry`, or ``None``
         #: when JIT value indexes are disabled (worker-process children run
         #: without one, so byproduct emission degrades to a no-op there)
@@ -123,6 +128,13 @@ class QueryRuntime:
         self._posmap_parts: dict[str, dict] = {}
         # per-morsel value-index partials, same lifecycle as posmap partials
         self._index_parts: dict[str, dict] = {}
+        # generation token of each source captured at scan start; adoption
+        # and cache admission compare it against the catalog's current token
+        # under the per-source lock (adopt-or-discard)
+        self._generations: dict[str, int] = {}
+        # the posmap object observed at scan start, per source — an
+        # in-place update swaps the map, so identity doubles as a guard
+        self._posmap_expect: dict[str, object] = {}
 
     # -- generic -----------------------------------------------------------
 
@@ -131,6 +143,46 @@ class QueryRuntime:
 
     def device_for(self, source: str):
         return self.devices.get(source) or self.devices.get("*")
+
+    # -- generation-token adoption gates -----------------------------------
+
+    def touch_generation(self, source: str) -> int:
+        """Capture ``source``'s generation token at scan start (memoised
+        per query). Everything this scan produces — posmap partials, index
+        partials, cache columns — may only merge into shared state while
+        the catalog still carries this token."""
+        gen = self._generations.get(source)
+        if gen is None:
+            # setdefault: concurrent morsel workers agree on one token
+            gen = self._generations.setdefault(
+                source, self.catalog.get(source).generation)
+        return gen
+
+    def _generation_current(self, source: str) -> bool:
+        """True when the captured token still matches the catalog's (call
+        under the source lock for an atomic adopt-or-discard decision)."""
+        gen = self._generations.get(source)
+        return gen is None or gen == self.catalog.get(source).generation
+
+    def _count_engine(self, **deltas: int) -> None:
+        if self.engine is not None:
+            deltas = {k: v for k, v in deltas.items() if v}
+            if deltas:
+                self.engine.count(**deltas)
+
+    def _adopt_posmap(self, source: str, partials: list,
+                      expect=None) -> bool:
+        """Atomic adopt-or-discard of completed positional-map partials:
+        one winner per concurrent cold race, stale scans always discard."""
+        plugin = self.catalog.get(source).plugin
+        with self.catalog.source_lock(source):
+            adopted = self._generation_current(source) and \
+                plugin.adopt_posmap_partials(partials, expect=expect)
+        if adopted:
+            self._count_engine(posmap_adoptions=1)
+        else:
+            self._count_engine(posmap_discards=1)
+        return adopted
 
     # -- morsel-parallel scan protocol ------------------------------------------
 
@@ -270,7 +322,10 @@ class QueryRuntime:
             data, _layout = self._cache_scan_once(source, tuple(fields), whole)
             count = len(data) if whole else (len(data[0]) if data else 0)
             return split_ranges(count, parts, "rows")
+        self.touch_generation(source)
         plugin = self.catalog.get(source).plugin
+        if hasattr(plugin, "posmap"):
+            self._posmap_expect[source] = plugin.posmap
         splits = getattr(plugin, "scan_splits", None)
         if splits is None:
             return [MORSEL_ALL]
@@ -284,8 +339,9 @@ class QueryRuntime:
         if parts:
             byte_splits = [s for s in splits if s.kind == "bytes"]
             if byte_splits and all(s in parts for s in byte_splits):
-                plugin = self.catalog.get(source).plugin
-                plugin.adopt_posmap_partials([parts[s] for s in byte_splits])
+                self._adopt_posmap(source,
+                                   [parts[s] for s in byte_splits],
+                                   expect=self._posmap_expect.get(source))
             # else: a morsel didn't finish; discard rather than adopt holes
         iparts = self._index_parts.pop(source, None)
         if iparts:
@@ -305,15 +361,25 @@ class QueryRuntime:
                     self._adopt_index_partials(source, ordered)
 
     def _adopt_index_partials(self, source: str, partials: list) -> None:
-        """Merge scan-byproduct index partials into the session registry
-        (morsel order), crediting ``index_builds`` for fields that grew."""
+        """Merge scan-byproduct index partials into the shared registry
+        (morsel order), crediting ``index_builds`` for fields that grew.
+
+        Atomic adopt-or-discard: runs under the source lock against the
+        generation token captured at scan start, so partials built from a
+        since-mutated file are dropped instead of poisoning fresh indexes.
+        """
         if self.indexes is None:
             return
-        entry = self.catalog.get(source)
-        grown = self.indexes.adopt(source, entry.generation, partials)
+        with self.catalog.source_lock(source):
+            if not self._generation_current(source):
+                self._count_engine(index_discards=1)
+                return
+            entry = self.catalog.get(source)
+            grown = self.indexes.adopt(source, entry.generation, partials)
         if grown:
             with self._lock:
                 self.stats.index_builds += grown
+            self._count_engine(index_adoptions=1)
 
     def _new_index_sink(self, index_fields: tuple, split) -> IndexPartial | None:
         """A byproduct recorder for one scan (or morsel), if emission is on."""
@@ -386,12 +452,20 @@ class QueryRuntime:
         """
         if self.truncated:
             return
-        self.cache.put_columns(source, fields, columns)
+        with self.catalog.source_lock(source):
+            if not self._generation_current(source):
+                self._count_engine(stale_admissions_dropped=1)
+                return
+            self.cache.put_columns(source, fields, columns)
 
     def admit_elements(self, source: str, layout: str, elements: list) -> None:
         if self.truncated:
             return
-        self.cache.put(source, layout, (), elements)
+        with self.catalog.source_lock(source):
+            if not self._generation_current(source):
+                self._count_engine(stale_admissions_dropped=1)
+                return
+            self.cache.put(source, layout, (), elements)
 
     # -- chunked scan protocol (shared by both engines) ------------------------
 
@@ -456,6 +530,7 @@ class QueryRuntime:
         carrying the physical row count for accounting."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
+        self.touch_generation(source)
         clean = self.cleaning.get(source)
         if clean is None or not (fields or whole):
             # a projection that touches no raw attribute cannot fail conversion
@@ -467,11 +542,19 @@ class QueryRuntime:
             self.stats.raw_bytes += os.path.getsize(plugin.path)
             if clean is not None:
                 clean = _CountingPolicy(clean, self.stats)
+            # cold population records into a detached partial map, adopted
+            # atomically below — concurrent sessions cold-scanning the same
+            # file each build their own; exactly one wins, none corrupts
+            pm_expect = pm_partial = None
+            if access == "cold":
+                pm_expect = plugin.posmap
+                pm_partial = plugin.new_posmap_partial()
             count = 0
             skipped_before = self.stats.skipped_rows
             for chunk in plugin.scan_chunks(
                 fields, batch_size=batch_size, device=self.device_for(source),
                 clean=clean, whole=whole, access=access,
+                posmap_partial=pm_partial,
                 pred_fields=pred_fields, pred_kernel=pred_kernel,
                 index_sink=sink,
             ):
@@ -480,6 +563,8 @@ class QueryRuntime:
                 yield chunk
             # rows the cleaning policy dropped were still physically scanned
             self.stats.raw_rows += count + (self.stats.skipped_rows - skipped_before)
+            if pm_partial is not None:
+                self._adopt_posmap(source, [pm_partial], expect=pm_expect)
             if sink is not None:
                 self._adopt_index_partials(source, [sink])
             return
@@ -527,6 +612,7 @@ class QueryRuntime:
         so morsel partials never need shifting)."""
         entry = self.catalog.get(source)
         plugin = entry.plugin
+        self.touch_generation(source)
         sink = self._new_index_sink(index_fields, split)
         if split is None:
             self.stats.raw_sources.add(source)
@@ -576,9 +662,10 @@ class QueryRuntime:
         entry = self.catalog.get(source)
         plugin = entry.plugin
         fmt = entry.format
+        gen = self.touch_generation(source)
         idx = None
         if self.indexes is not None and lookup is not None:
-            idx = self.indexes.peek(source, entry.generation, lookup[1])
+            idx = self.indexes.peek(source, gen, lookup[1])
         rows = idx.lookup(lookup) if idx is not None else None
         if rows is None:
             if fmt == "csv":

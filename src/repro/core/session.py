@@ -7,6 +7,21 @@ then query them in comprehension syntax or SQL. Auxiliary structures
 (positional maps, semi-indexes) and data caches build themselves as a side
 effect of query execution and amortise across the workload.
 
+A session is a thin per-tenant view over an
+:class:`~repro.core.engine.EngineContext`, which owns everything that is a
+property of the *data* (catalog, cache, positional maps, value indexes, JIT
+compile cache, worker pool). A standalone ``ViDa()`` creates a private
+context; passing ``context=`` shares one across many sessions, so one
+tenant's cold scan warms every other tenant's queries::
+
+    from repro import EngineContext, ViDa
+
+    ctx = EngineContext()
+    db_a, db_b = ViDa(context=ctx), ViDa(context=ctx)
+    db_a.register_csv("Patients", "patients.csv")
+    db_a.query("for { p <- Patients, p.age > 60 } yield count 1")  # cold
+    db_b.query("for { p <- Patients, p.age > 30 } yield count 1")  # warm
+
 Example::
 
     from repro import ViDa
@@ -24,23 +39,23 @@ Example::
 from __future__ import annotations
 
 import json as _json
+import threading
 import time
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass
 
 from ..caching import AdmissionPolicy, DataCache
 from ..errors import ViDaError
 from ..formats.jsonfmt import bson as _bson
-from ..indexing import IndexRegistry
 from ..mcc import ast as A
 from ..mcc.algebra import explain as explain_algebra
 from ..mcc.normalize import normalize
 from ..mcc.parser import parse
 from ..mcc.translate import referenced_sources, translate
 from ..mcc.typecheck import typecheck
-from .catalog import Catalog
-from .executor.engine import JITExecutor
+from .engine import EngineContext, QuotaCacheView
 from .executor.runtime import QueryRuntime
-from .executor.static_engine import StaticExecutor, eval_expr
+from .executor.static_engine import eval_expr
 from .optimizer.planner import PlanDecisions, Planner
 from .physical import explain_physical
 
@@ -89,17 +104,20 @@ class QueryResult:
         raise TypeError("scalar query result is not iterable")
 
 
-def _shutdown_pool(pool) -> None:
-    """Module-level so a session finalizer holds no reference to the session."""
-    pool.shutdown()
+def _release_context(engine: EngineContext, owned: bool) -> None:
+    """Module-level session finalizer: detach from the shared context (the
+    last session out shuts the worker pool) and close a private one."""
+    engine.detach()
+    if owned:
+        engine.close()
 
 
 class ViDa:
-    """A just-in-time virtual database over raw files."""
+    """A just-in-time virtual database over raw files (one tenant session)."""
 
     def __init__(
         self,
-        cache_budget_bytes: int = 256 << 20,
+        cache_budget_bytes: int | None = None,
         admission_policy: AdmissionPolicy | None = None,
         default_engine: str = "jit",
         enable_cache: bool = True,
@@ -109,6 +127,8 @@ class ViDa:
         backend: str = "thread",
         vector_filters: bool = True,
         enable_indexes: bool = True,
+        context: EngineContext | None = None,
+        cache_write_quota_bytes: int | None = None,
     ):
         if default_engine not in ("jit", "static"):
             raise ViDaError(f"unknown engine {default_engine!r} (jit | static)")
@@ -120,8 +140,33 @@ class ViDa:
             raise ViDaError(
                 f"unknown backend {backend!r} (thread | process | serial)"
             )
-        self.catalog = Catalog()
-        self.cache = DataCache(cache_budget_bytes, admission_policy)
+        if context is not None and (cache_budget_bytes is not None
+                                    or admission_policy is not None):
+            raise ViDaError(
+                "cache_budget_bytes / admission_policy belong to the "
+                "EngineContext — configure them where the context is built"
+            )
+        self._owns_context = context is None
+        if context is None:
+            context = EngineContext(
+                cache_budget_bytes if cache_budget_bytes is not None
+                else 256 << 20,
+                admission_policy,
+            )
+        context.attach()
+        #: the shared :class:`~repro.core.engine.EngineContext` this session
+        #: is a tenant of (private when constructed without ``context=``)
+        self._engine = context
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release_context, context, self._owns_context
+        )
+        #: per-tenant cache-write quota: admissions beyond this many bytes
+        #: are refused (reads always pass through) — None means unmetered
+        self._quota_view = (
+            QuotaCacheView(context.cache, cache_write_quota_bytes)
+            if cache_write_quota_bytes is not None else None
+        )
         self.default_engine = default_engine
         self.enable_cache = enable_cache
         self.enable_posmap = enable_posmap
@@ -136,8 +181,6 @@ class ViDa:
         #: baseline). The planner still falls back per scan via the cost
         #: model and kernel-spec shippability gates.
         self.backend = backend
-        self._procpool = None
-        self._procpool_finalizer = None
         #: selection-vector filter kernels + vectorized join build/probe in
         #: generated code (True); False keeps row-at-a-time evaluation — the
         #: differential baseline bench_filtered_scan measures against
@@ -147,18 +190,48 @@ class ViDa:
         #: to value indexes the same just-in-time way). False disables both
         #: emission and index access paths — the differential baseline.
         self.enable_indexes = enable_indexes
-        self.indexes = IndexRegistry()
         self.cleaning: dict[str, object] = {}
         self.devices: dict[str, object] = {}
-        self._jit = JITExecutor(self.catalog, vector_filters=vector_filters)
-        self._static = StaticExecutor(self.catalog)
         self.query_log: list[QueryStats] = []
         # prepared-statement cache: query text → (parsed, normalized) AST.
         # Both are pure functions of the text, so reuse is always safe;
         # planning/typechecking still run per query (they see catalog and
-        # cache state). LRU-bounded alongside the JIT compile cache.
+        # cache state). LRU-bounded alongside the JIT compile cache; the
+        # lock keeps the pop/re-insert LRU dance atomic when a tenant
+        # pipelines concurrent queries through one session.
         self._prepared: dict[str, tuple] = {}
         self._max_prepared = 256
+        self._prepared_lock = threading.Lock()
+
+    # -- shared engine state (delegates to the context) -----------------------
+
+    @property
+    def engine_context(self) -> EngineContext:
+        """The :class:`EngineContext` this session shares state through."""
+        return self._engine
+
+    @property
+    def catalog(self):
+        return self._engine.catalog
+
+    @property
+    def cache(self):
+        """The shared data cache — through the tenant's write-metering
+        quota view when the session was opened with one."""
+        return self._quota_view if self._quota_view is not None \
+            else self._engine.cache
+
+    @property
+    def indexes(self):
+        return self._engine.indexes
+
+    @property
+    def _jit(self):
+        return self._engine.jit
+
+    @property
+    def _static(self):
+        return self._engine.static
 
     # -- registration (delegates to the catalog) ------------------------------
 
@@ -208,14 +281,22 @@ class ViDa:
         columns | json | bson. ``limit`` truncates a collection result
         *before* shaping, so every output shape honours it.
         """
+        if self._closed:
+            raise ViDaError(
+                "session is closed — open a new ViDa against the engine "
+                "context to keep querying"
+            )
         engine = engine or self.default_engine
         stats = QueryStats(engine=engine)
+        self._engine.count(queries=1)
         t_start = time.perf_counter()
 
-        prepared = self._prepared.pop(text_or_expr, None) \
-            if isinstance(text_or_expr, str) else None
+        with self._prepared_lock:
+            prepared = self._prepared.pop(text_or_expr, None) \
+                if isinstance(text_or_expr, str) else None
         if prepared is not None:
-            self._prepared[text_or_expr] = prepared  # LRU move-to-end
+            with self._prepared_lock:
+                self._prepared[text_or_expr] = prepared  # LRU move-to-end
             expr, norm = prepared
             t0 = time.perf_counter()
             typecheck(expr, self.catalog.type_env())
@@ -234,9 +315,10 @@ class ViDa:
             norm = normalize(expr)
             stats.normalize_ms = (time.perf_counter() - t0) * 1e3
             if isinstance(text_or_expr, str):
-                if len(self._prepared) >= self._max_prepared:
-                    self._prepared.pop(next(iter(self._prepared)))
-                self._prepared[text_or_expr] = (expr, norm)
+                with self._prepared_lock:
+                    if len(self._prepared) >= self._max_prepared:
+                        self._prepared.pop(next(iter(self._prepared)))
+                    self._prepared[text_or_expr] = (expr, norm)
 
         # freshness: in-place updates drop auxiliary structures + cache entries
         for src in referenced_sources(norm, self.catalog.names()):
@@ -250,7 +332,8 @@ class ViDa:
                                row_limit=row_limit,
                                process_pool=self._worker_pool(),
                                indexes=self.indexes if self.enable_indexes
-                               else None)
+                               else None,
+                               engine=self._engine)
 
         if not isinstance(norm, A.Comprehension):
             # Merge-of-comprehensions / constant expressions: interpret.
@@ -271,7 +354,8 @@ class ViDa:
         code = ""
         t0 = time.perf_counter()
         if engine == "jit":
-            compiled = self._jit.compile(plan)
+            compiled = self._jit.compile(plan,
+                                         vector_filters=self.vector_filters)
             code = compiled.source
             stats.codegen_ms = (time.perf_counter() - t0) * 1e3
             t0 = time.perf_counter()
@@ -351,20 +435,12 @@ class ViDa:
                        indexes=self.indexes if self.enable_indexes else None)
 
     def _worker_pool(self):
-        """The session's worker-process pool (process backend only); spawned
-        lazily, reused across queries, reaped when the session goes away."""
+        """The context's worker-process pool (process backend only); spawned
+        lazily on first request, shared by every attached session, reaped
+        when the last session detaches."""
         if self.backend != "process" or self.parallelism <= 1:
             return None
-        if self._procpool is None:
-            import weakref
-
-            from .executor.procpool import WorkerPool
-
-            self._procpool = WorkerPool(self.parallelism)
-            self._procpool_finalizer = weakref.finalize(
-                self, _shutdown_pool, self._procpool
-            )
-        return self._procpool
+        return self._engine.worker_pool(self.parallelism)
 
     def prestart(self) -> None:
         """Spin worker processes up ahead of the first query, so interpreter
@@ -375,14 +451,20 @@ class ViDa:
             pool.prestart()
 
     def close(self) -> None:
-        """Release session resources (the worker-process pool). Queries
-        issued afterwards respawn the pool on demand."""
-        if self._procpool is not None:
-            if self._procpool_finalizer is not None:
-                self._procpool_finalizer.detach()
-                self._procpool_finalizer = None
-            self._procpool.shutdown()
-            self._procpool = None
+        """Detach this session from the engine context. Idempotent; the
+        last session out shuts the shared worker pool, and queries issued
+        on a closed session raise :class:`~repro.errors.ViDaError` instead
+        of racing torn-down state. The context itself (and everything other
+        tenants warmed) survives unless this session owned it privately."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _release_context(self._engine, self._owns_context)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def _fill_exec_stats(self, stats: QueryStats, runtime: QueryRuntime) -> None:
         es = runtime.stats

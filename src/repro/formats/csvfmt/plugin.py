@@ -16,6 +16,7 @@ fields and configured null tokens.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
 
@@ -109,6 +110,10 @@ class CSVSource:
                                     stride=posmap_stride)
         self.col_index = {name: i for i, name in enumerate(self.columns)}
         self._data_start = self._header_length()
+        # serialises posmap adoption/invalidation when sessions share the
+        # plugin (leaf lock; the runtime's catalog source lock orders it
+        # against generation bumps)
+        self._aux_lock = threading.Lock()
 
     # -- schema ----------------------------------------------------------------
 
@@ -204,9 +209,16 @@ class CSVSource:
         return self._cold_scan(cols, device, clean)
 
     def _cold_scan(self, cols: list[int], device, clean) -> Iterator[tuple]:
-        """Full tokenizing scan; piggybacks positional-map population."""
-        anchors = self.posmap.anchor_columns(cols)
-        self.posmap.begin_population(anchors)
+        """Full tokenizing scan; piggybacks positional-map population.
+
+        Population is recorded into a *detached* partial map and adopted
+        atomically at scan end (adopt-or-discard): concurrent cold scans of
+        the same source each build their own partial, exactly one installs.
+        """
+        target = self.posmap
+        partial = self.new_posmap_partial()
+        anchors = target.anchor_columns(cols)
+        partial.begin_population(anchors)
         convs = [self.converter(c) for c in cols]
         delim = self.options.delimiter
         encoding = self.options.encoding
@@ -219,7 +231,7 @@ class CSVSource:
                 line = line_bytes.decode(encoding)
                 if not line:
                     continue
-                self.posmap.record_row(offset, line, anchors)
+                partial.record_row(offset, line, anchors)
                 cells = line.split(delim)
                 if validate:
                     values = clean.repair(self, row, cells, cols)
@@ -241,7 +253,7 @@ class CSVSource:
                         raise
                 yield values
                 row += 1
-        self.posmap.finish_population()
+        self.adopt_posmap_partials([partial], expect=target)
 
     def _warm_scan(self, cols: list[int], device, clean) -> Iterator[tuple]:
         """Map-navigated scan: jump to recorded field offsets, no full split."""
@@ -486,7 +498,13 @@ class CSVSource:
         record_map = None
         if access == "cold" and byte_range is None:
             record_anchors = self.posmap.anchor_columns(cols)
-            self.posmap.begin_population(record_anchors)
+            if posmap_partial is not None:
+                # detached population (adopt-or-discard by the caller):
+                # concurrent cold scans never write the shared map in place
+                posmap_partial.begin_population(record_anchors)
+                record_map = posmap_partial
+            else:
+                self.posmap.begin_population(record_anchors)
         elif access == "cold" and posmap_partial is not None \
                 and split is not None and split.kind == "bytes":
             # sharded population: record into the worker's partial map
@@ -710,9 +728,22 @@ class CSVSource:
         return PositionalMap(len(self.columns), self.options.delimiter,
                              self.posmap.stride)
 
-    def adopt_posmap_partials(self, partials: list[PositionalMap]) -> None:
-        """Merge morsel-ordered partial maps into the source's map."""
-        self.posmap.adopt_partials(partials)
+    def adopt_posmap_partials(self, partials: list[PositionalMap],
+                              expect: PositionalMap | None = None) -> bool:
+        """Atomically merge morsel-ordered partial maps into the source's
+        map — or discard them. Adoption proceeds only if the map is still
+        incomplete and (when ``expect`` is given) is still the same object
+        observed at scan start — an in-place file update swaps the map, so
+        a stale scan's offsets can never poison the fresh one. Returns True
+        when the partials were adopted (one winner per cold-scan race)."""
+        with self._aux_lock:
+            target = self.posmap
+            if expect is not None and target is not expect:
+                return False
+            if target.complete or not partials:
+                return False
+            target.adopt_partials(partials)
+            return target.complete
 
     def fetch_row(self, row: int, fields: Sequence[str], device=None) -> tuple:
         """Positional access path: fetch one row's fields via the map."""
@@ -781,7 +812,11 @@ class CSVSource:
         return count
 
     def invalidate_auxiliary(self) -> None:
-        """Drop the positional map (file changed in place, paper §2.1)."""
-        self.posmap = PositionalMap(
-            len(self.columns), self.options.delimiter, self.posmap.stride
-        )
+        """Drop the positional map (file changed in place, paper §2.1).
+
+        Swaps in a fresh map object rather than mutating: scans that
+        captured the old map discard their partials at adoption time."""
+        with self._aux_lock:
+            self.posmap = PositionalMap(
+                len(self.columns), self.options.delimiter, self.posmap.stride
+            )

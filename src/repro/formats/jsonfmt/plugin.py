@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -65,14 +66,19 @@ class JSONSource:
         self.options = options or JSONOptions()
         self._semi_index: JSONSemiIndex | None = None
         self._schema: T.CollectionType | None = None
+        self._aux_lock = threading.Lock()
 
     # -- auxiliary structure -------------------------------------------------
 
     @property
     def semi_index(self) -> JSONSemiIndex:
-        """The structural index; built on first use (one raw pass, no parsing)."""
+        """The structural index; built on first use (one raw pass, no
+        parsing). Double-checked under a lock so concurrent sessions build
+        it once and always observe a fully-constructed index."""
         if self._semi_index is None:
-            self._semi_index = JSONSemiIndex.build_from_file(self.path)
+            with self._aux_lock:
+                if self._semi_index is None:
+                    self._semi_index = JSONSemiIndex.build_from_file(self.path)
         return self._semi_index
 
     def has_semi_index(self) -> bool:

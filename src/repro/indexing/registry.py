@@ -1,4 +1,4 @@
-"""Per-session registry of JIT value indexes.
+"""Engine-wide registry of JIT value indexes, shared by tenant sessions.
 
 Indexes are keyed by ``(source name, source generation, field)``. The
 generation is the catalog's per-source file-generation token: it bumps
@@ -12,35 +12,45 @@ sweep).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 from .value_index import IndexPartial, ValueIndex
 
 
 class IndexRegistry:
-    """Session-lifetime store of incrementally built value indexes."""
+    """Engine-lifetime store of incrementally built value indexes.
+
+    Shared by every session of an :class:`~repro.core.engine.EngineContext`:
+    peeks and adoptions serialise on an internal mutex (a leaf lock — the
+    runtime's adopt-or-discard additionally holds the catalog's per-source
+    lock, which orders adoption against generation bumps).
+    """
 
     def __init__(self):
         #: source -> (generation, {field -> ValueIndex})
         self._sources: dict[str, tuple[int, dict[str, ValueIndex]]] = {}
+        self._mutex = threading.RLock()
 
     def peek(self, source: str, generation: int,
              field: str) -> ValueIndex | None:
         """The index for ``source.field`` at ``generation``, or ``None``.
         A generation mismatch evicts the stale source entry."""
-        hit = self._sources.get(source)
-        if hit is None:
-            return None
-        if hit[0] != generation:
-            del self._sources[source]
-            return None
-        return hit[1].get(field)
+        with self._mutex:
+            hit = self._sources.get(source)
+            if hit is None:
+                return None
+            if hit[0] != generation:
+                del self._sources[source]
+                return None
+            return hit[1].get(field)
 
     def fields(self, source: str, generation: int) -> tuple[str, ...]:
-        hit = self._sources.get(source)
-        if hit is None or hit[0] != generation:
-            return ()
-        return tuple(hit[1])
+        with self._mutex:
+            hit = self._sources.get(source)
+            if hit is None or hit[0] != generation:
+                return ()
+            return tuple(hit[1])
 
     def adopt(self, source: str, generation: int,
               partials: Sequence[IndexPartial]) -> int:
@@ -54,30 +64,33 @@ class IndexRegistry:
         """
         if not partials:
             return 0
-        hit = self._sources.get(source)
-        if hit is None or hit[0] != generation:
-            by_field: dict[str, ValueIndex] = {}
-            self._sources[source] = (generation, by_field)
-        else:
-            by_field = hit[1]
-        grown: set[str] = set()
-        base = 0
-        for part in partials:
-            shift = base if part.local_rows else 0
-            for field, runs in part.runs.items():
-                if not runs:
-                    continue
-                idx = by_field.get(field)
-                if idx is None:
-                    idx = by_field[field] = ValueIndex(field)
-                for start, values in runs:
-                    if idx.add_run(start + shift, values):
-                        grown.add(field)
-            base += part.rows_seen
-        return len(grown)
+        with self._mutex:
+            hit = self._sources.get(source)
+            if hit is None or hit[0] != generation:
+                by_field: dict[str, ValueIndex] = {}
+                self._sources[source] = (generation, by_field)
+            else:
+                by_field = hit[1]
+            grown: set[str] = set()
+            base = 0
+            for part in partials:
+                shift = base if part.local_rows else 0
+                for field, runs in part.runs.items():
+                    if not runs:
+                        continue
+                    idx = by_field.get(field)
+                    if idx is None:
+                        idx = by_field[field] = ValueIndex(field)
+                    for start, values in runs:
+                        if idx.add_run(start + shift, values):
+                            grown.add(field)
+                base += part.rows_seen
+            return len(grown)
 
     def invalidate_source(self, source: str) -> None:
-        self._sources.pop(source, None)
+        with self._mutex:
+            self._sources.pop(source, None)
 
     def clear(self) -> None:
-        self._sources.clear()
+        with self._mutex:
+            self._sources.clear()

@@ -1,0 +1,12 @@
+"""Multi-tenant query server: N sessions multiplexed over one engine.
+
+The proof-of-sharing subsystem for :class:`~repro.core.engine.EngineContext`:
+an asyncio front end speaks newline-delimited JSON, gives every connection
+its own :class:`~repro.core.session.ViDa` tenant session, and executes
+queries on a bounded thread pool — so one tenant's cold scan builds the
+positional maps, caches and value indexes every other tenant's queries hit.
+"""
+
+from .server import ServerStats, TenantQuota, ViDaServer
+
+__all__ = ["ServerStats", "TenantQuota", "ViDaServer"]

@@ -1,0 +1,423 @@
+"""The ViDa query server: newline-delimited JSON over asyncio.
+
+Wire protocol (one JSON object per line, each request answered by exactly
+one response line; requests on one connection may execute concurrently, so
+responses carry the request's ``id`` back and may arrive out of order):
+
+Requests::
+
+    {"id": 1, "sql": "SELECT ..."}                 -- SQL query
+    {"id": 2, "q": "for { ... } yield ..."}        -- comprehension query
+    {"id": 3, "op": "explain", "sql"|"q": "..."}   -- plan without running
+    {"id": 4, "op": "register", "name": "T",
+     "path": "/data/t.csv", "format": "csv"}       -- csv | json | auto
+    {"id": 5, "op": "stats"}                       -- engine + tenant stats
+
+Responses::
+
+    {"id": 1, "ok": true, "rows": [...], "stats": {...}}
+    {"id": 3, "ok": true, "text": "== logical ==..."}
+    {"id": 5, "ok": true, "engine": {...}, "tenant": {...}}
+    {"id": 1, "ok": false,
+     "error": {"type": "quota" | "parse" | "protocol" | "execution",
+               "message": "..."}}
+
+Tenancy model: one connection = one tenant = one
+:class:`~repro.core.session.ViDa` session attached to the server's shared
+:class:`~repro.core.engine.EngineContext`. Admission control is per tenant:
+at most ``quota.max_inflight`` queries execute at once (excess requests are
+refused immediately with a structured ``quota`` error, they never queue
+silently), and cache admissions are metered against
+``quota.cache_write_bytes`` through the session's
+:class:`~repro.core.engine.QuotaCacheView`. Reads always pass through — a
+tenant over its write quota still benefits from data other tenants warmed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.engine import EngineContext
+from ..core.session import ViDa
+from ..errors import ParseError, TypeCheckError, ViDaError
+
+#: protocol guard: a request line longer than this is a protocol error
+MAX_LINE_BYTES = 4 << 20
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission-control limits."""
+
+    #: queries a tenant may have executing at once; further requests are
+    #: refused with a structured ``quota`` error instead of queueing
+    max_inflight: int = 4
+    #: bytes of cache admissions the tenant may cause (None = unmetered)
+    cache_write_bytes: int | None = None
+
+
+@dataclass
+class ServerStats:
+    """Front-end counters (engine-level sharing lives in EngineStats)."""
+
+    connections: int = 0
+    requests: int = 0
+    errors: int = 0
+    quota_rejections: int = 0
+
+
+class _Tenant:
+    """Per-connection state: the session plus admission-control counters."""
+
+    def __init__(self, tenant_id: int, session: ViDa, quota: TenantQuota):
+        self.id = tenant_id
+        self.session = session
+        self.quota = quota
+        self.inflight = 0
+        self.queries = 0
+        self.rejected = 0
+
+    def admit(self) -> bool:
+        """Reserve an execution slot (event-loop thread only, so plain
+        increments are race-free)."""
+        if self.inflight >= self.quota.max_inflight:
+            self.rejected += 1
+            return False
+        self.inflight += 1
+        return True
+
+    def release(self) -> None:
+        self.inflight -= 1
+
+    def stats(self) -> dict:
+        view = self.session.cache if self.session.cache is not \
+            self.session.engine_context.cache else None
+        out = {
+            "id": self.id,
+            "queries": self.queries,
+            "inflight": self.inflight,
+            "quota_rejections": self.rejected,
+            "max_inflight": self.quota.max_inflight,
+        }
+        if view is not None:
+            out["cache_write_quota_bytes"] = view.quota_bytes
+            out["cache_bytes_admitted"] = view.admitted_bytes
+            out["cache_writes_denied"] = view.writes_denied
+        return out
+
+
+def _error(kind: str, message: str, req_id=None) -> dict:
+    out = {"ok": False, "error": {"type": kind, "message": message}}
+    if req_id is not None:
+        out["id"] = req_id
+    return out
+
+
+def _jsonable(value):
+    """Round-trip a query result into JSON-safe types (bytes, Decimal and
+    friends degrade to strings rather than failing the response)."""
+    return json.loads(json.dumps(value, default=str))
+
+
+class ViDaServer:
+    """Serve N tenant sessions over one shared :class:`EngineContext`."""
+
+    def __init__(
+        self,
+        context: EngineContext | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+        quota: TenantQuota | None = None,
+        session_options: dict | None = None,
+    ):
+        self._owns_context = context is None
+        self.context = context if context is not None else EngineContext()
+        self.host = host
+        self.port = port
+        self.quota = quota or TenantQuota()
+        #: extra ViDa(...) keyword options applied to every tenant session
+        self.session_options = dict(session_options or {})
+        self.stats = ServerStats()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="vida-query")
+        self._server: asyncio.AbstractServer | None = None
+        self._tenant_ids = itertools.count(1)
+        self._connections: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves port 0 after :meth:`start`."""
+        if self._server is None:
+            raise ViDaError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_LINE_BYTES)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # drain live connections before tearing shared state down, so no
+        # handler dies mid-write and nothing leaks into loop shutdown
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        if self._owns_context:
+            self.context.close()
+
+    # -- connection handling --------------------------------------------------
+
+    def _open_session(self) -> ViDa:
+        opts = dict(self.session_options)
+        if self.quota.cache_write_bytes is not None:
+            opts.setdefault("cache_write_quota_bytes",
+                            self.quota.cache_write_bytes)
+        return ViDa(context=self.context, **opts)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        tenant = _Tenant(next(self._tenant_ids), self._open_session(),
+                         self.quota)
+        self.stats.connections += 1
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._connections.add(conn_task)
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+
+        async def respond(payload: dict) -> None:
+            if not payload.get("ok"):
+                self.stats.errors += 1
+            line = json.dumps(payload, default=str).encode() + b"\n"
+            async with write_lock:
+                writer.write(line)
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    break  # server shutdown: close this connection cleanly
+                except (ValueError, ConnectionError):
+                    await respond(_error("protocol", "request line too long"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self.stats.requests += 1
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await respond(_error("protocol", f"bad JSON: {exc}"))
+                    continue
+                if not isinstance(request, dict):
+                    await respond(_error("protocol",
+                                         "request must be a JSON object"))
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(tenant, request, respond))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            if conn_task is not None:
+                self._connections.discard(conn_task)
+            for task in pending:
+                task.cancel()
+            tenant.session.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def _serve_request(self, tenant: _Tenant, request: dict,
+                             respond) -> None:
+        req_id = request.get("id")
+        try:
+            payload = await self._dispatch(tenant, request)
+        except asyncio.CancelledError:
+            raise
+        except (ParseError, TypeCheckError) as exc:
+            payload = _error("parse", str(exc))
+        except ViDaError as exc:
+            payload = _error("execution", str(exc))
+        except Exception as exc:  # never kill the connection on one query
+            payload = _error("execution", f"{type(exc).__name__}: {exc}")
+        if req_id is not None:
+            payload.setdefault("id", req_id)
+        await respond(payload)
+
+    async def _dispatch(self, tenant: _Tenant, request: dict) -> dict:
+        op = request.get("op")
+        if op is None and ("sql" in request or "q" in request):
+            op = "query"
+        if op == "query":
+            return await self._run_query(tenant, request)
+        if op == "explain":
+            return await self._run_explain(tenant, request)
+        if op == "register":
+            return await self._run_register(tenant, request)
+        if op == "stats":
+            return self._run_stats(tenant)
+        return _error("protocol", f"unknown request {op!r} "
+                                  "(expected sql/q, explain, register, stats)")
+
+    def _statement(self, request: dict) -> tuple[str, str] | None:
+        if isinstance(request.get("sql"), str):
+            return "sql", request["sql"]
+        if isinstance(request.get("q"), str):
+            return "q", request["q"]
+        return None
+
+    async def _run_query(self, tenant: _Tenant, request: dict) -> dict:
+        stmt = self._statement(request)
+        if stmt is None:
+            return _error("protocol", "query needs a string 'sql' or 'q'")
+        if not tenant.admit():
+            self.stats.quota_rejections += 1
+            return _error(
+                "quota",
+                f"tenant {tenant.id} already has "
+                f"{tenant.quota.max_inflight} queries in flight",
+            )
+        kind, text = stmt
+        session = tenant.session
+        loop = asyncio.get_running_loop()
+
+        def run():
+            if kind == "sql":
+                return session.sql(text)
+            return session.query(text)
+
+        try:
+            result = await loop.run_in_executor(self._executor, run)
+        finally:
+            tenant.release()
+        tenant.queries += 1
+        value = result.value
+        out = {"ok": True,
+               "rows": _jsonable(value if isinstance(value, list)
+                                 else [value])}
+        if request.get("stats"):
+            out["stats"] = _jsonable(vars(result.stats))
+        if request.get("explain") and result.plan_text:
+            out["plan"] = result.plan_text
+        return out
+
+    async def _run_explain(self, tenant: _Tenant, request: dict) -> dict:
+        stmt = self._statement(request)
+        if stmt is None:
+            return _error("protocol", "explain needs a string 'sql' or 'q'")
+        kind, text = stmt
+        session = tenant.session
+        loop = asyncio.get_running_loop()
+
+        def run():
+            if kind == "sql":
+                from ..languages.sql import parse_sql, translate_sql
+
+                return session.explain(
+                    translate_sql(parse_sql(text), session.catalog))
+            return session.explain(text)
+
+        text_out = await loop.run_in_executor(self._executor, run)
+        return {"ok": True, "text": text_out}
+
+    async def _run_register(self, tenant: _Tenant, request: dict) -> dict:
+        name, path = request.get("name"), request.get("path")
+        fmt = request.get("format", "auto")
+        if not isinstance(name, str) or not isinstance(path, str):
+            return _error("protocol",
+                          "register needs string 'name' and 'path'")
+        session = tenant.session
+        registrars = {"csv": session.register_csv,
+                      "json": session.register_json,
+                      "auto": session.register_auto}
+        registrar = registrars.get(fmt)
+        if registrar is None:
+            return _error("protocol",
+                          f"unknown format {fmt!r} (csv | json | auto)")
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, registrar, name, path)
+        return {"ok": True, "registered": name}
+
+    def _run_stats(self, tenant: _Tenant) -> dict:
+        return {
+            "ok": True,
+            "engine": self.context.stats_snapshot(),
+            "server": {
+                "connections": self.stats.connections,
+                "requests": self.stats.requests,
+                "errors": self.stats.errors,
+                "quota_rejections": self.stats.quota_rejections,
+            },
+            "tenant": tenant.stats(),
+        }
+
+
+async def _amain(argv=None) -> None:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        description="ViDa multi-tenant NDJSON query server")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=7632)
+    ap.add_argument("--workers", type=int, default=8)
+    ap.add_argument("--max-inflight", type=int, default=4)
+    ap.add_argument("--cache-write-quota", type=int, default=None,
+                    help="per-tenant cache-admission byte quota")
+    ap.add_argument("--register", action="append", default=[],
+                    metavar="NAME=PATH",
+                    help="pre-register a source in the shared catalog")
+    opts = ap.parse_args(argv)
+    server = ViDaServer(
+        host=opts.host, port=opts.port, max_workers=opts.workers,
+        quota=TenantQuota(max_inflight=opts.max_inflight,
+                          cache_write_bytes=opts.cache_write_quota),
+    )
+    bootstrap = ViDa(context=server.context)
+    try:
+        for spec in opts.register:
+            name, _, path = spec.partition("=")
+            bootstrap.register_auto(name, path)
+        await server.start()
+        host, port = server.address
+        print(f"vida server listening on {host}:{port}", flush=True)
+        await server.serve_forever()
+    finally:
+        bootstrap.close()
+        await server.stop()
+
+
+def main(argv=None) -> None:
+    try:
+        asyncio.run(_amain(argv))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()
