@@ -70,6 +70,9 @@ class Catalog:
         self._entries: dict[str, CatalogEntry] = {}
         self._lock = threading.Lock()
         self._source_locks: dict[str, threading.Lock] = {}
+        #: bumps on any shape change (register/deregister) or generation
+        #: bump — one component of the plan-cache epoch
+        self.version = 0
 
     def source_lock(self, name: str) -> threading.Lock:
         """The lock serialising ``name``'s freshness checks, generation
@@ -94,6 +97,7 @@ class Catalog:
             if name in self._entries:
                 raise CatalogError(f"source {name!r} is already registered")
             self._entries[name] = entry
+            self.version += 1
             return entry
 
     def register_csv(
@@ -213,6 +217,7 @@ class Catalog:
             if name not in self._entries:
                 raise CatalogError(f"unknown source {name!r}")
             del self._entries[name]
+            self.version += 1
 
     # -- lookup ---------------------------------------------------------------
 
@@ -259,4 +264,6 @@ class Catalog:
                 entry.plugin.invalidate_auxiliary()
             entry.fingerprint = FileFingerprint.of(entry.description.path)
             entry.generation = next(_GENERATIONS)
+            with self._lock:
+                self.version += 1
         return False

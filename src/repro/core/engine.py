@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from ..caching import AdmissionPolicy, DataCache
 from ..errors import ViDaError
 from ..indexing import IndexRegistry
+from ..stats import CostCalibration, StatsRegistry
 from .catalog import Catalog
 from .executor.engine import JITExecutor
 from .executor.static_engine import StaticExecutor
@@ -56,6 +57,10 @@ class EngineStats:
     index_discards: int = 0
     #: cache admissions dropped because the source mutated mid-query
     stale_admissions_dropped: int = 0
+    #: table-statistics partials merged into the shared registry
+    stats_adoptions: int = 0
+    #: table-statistics partials dropped at the generation-token gate
+    stats_discards: int = 0
     sessions_opened: int = 0
     sessions_closed: int = 0
 
@@ -122,6 +127,8 @@ class EngineContext:
         self.catalog = Catalog()
         self.cache = DataCache(cache_budget_bytes, admission_policy)
         self.indexes = IndexRegistry()
+        self.table_stats = StatsRegistry()
+        self.calibration = CostCalibration()
         self.stats = EngineStats()
         self.jit = JITExecutor(self.catalog)
         self.static = StaticExecutor(self.catalog)
@@ -210,6 +217,8 @@ class EngineContext:
                 "posmap_discards": self.stats.posmap_discards,
                 "index_adoptions": self.stats.index_adoptions,
                 "index_discards": self.stats.index_discards,
+                "stats_adoptions": self.stats.stats_adoptions,
+                "stats_discards": self.stats.stats_discards,
                 "stale_admissions_dropped": self.stats.stale_admissions_dropped,
             }
         cs = self.cache.stats
@@ -224,4 +233,21 @@ class EngineContext:
             "compilations": js.compilations, "hits": js.cache_hits,
             "evictions": js.evictions,
         }
+        engine["table_stats"] = self.table_stats.summary()
+        engine["calibration"] = self.calibration.snapshot()
         return engine
+
+    def plan_epoch(self) -> tuple:
+        """Fingerprint of every input the planner reads beyond the query
+        text. A prepared plan cached under one epoch is replanned the
+        moment any component moves — catalog shape or file generations,
+        table statistics, cost calibration — so a stale plan (built before
+        stats arrived, or before a file mutated) can never be served.
+        """
+        with self._stats_lock:
+            aux = (self.stats.posmap_adoptions, self.stats.index_adoptions,
+                   self.stats.stats_adoptions)
+        cs = self.cache.stats
+        return (self.catalog.version, self.table_stats.version,
+                self.calibration.version,
+                cs.admissions, cs.evictions, cs.invalidations) + aux

@@ -75,5 +75,18 @@ class JITExecutor:
             self._compiled[key] = compiled
         return compiled
 
+    def is_cached(self, plan: PhysReduce,
+                  vector_filters: bool | None = None) -> bool:
+        """True when this plan is already compiled (no compile cost to pay).
+
+        A pure probe: no LRU move, no stats bump — the auto engine chooser
+        asks before deciding whether JIT's compile latency is sunk.
+        """
+        if vector_filters is None:
+            vector_filters = self.vector_filters
+        key = (bool(vector_filters), plan_fingerprint(plan))
+        with self._mutex:
+            return key in self._compiled
+
     def execute(self, plan: PhysReduce, runtime):
         return self.compile(plan)(runtime)

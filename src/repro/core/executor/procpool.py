@@ -85,6 +85,10 @@ class KernelSpec:
     shared: bytes = b""
     cleaning: bytes = b""  # pickled {source name: cleaning policy}
     row_limit: int | None = None
+    #: table-statistics marching orders: (source, row count known?, known
+    #: column names) per source — children collect only what the parent's
+    #: shared registry is missing, and ship StatsPartial byproducts home
+    stats_sources: tuple = ()
 
 
 def source_spec(entry) -> SourceSpec:
@@ -162,6 +166,7 @@ def jit_spec(rt, module_source: str, worker: str, shared: dict) -> KernelSpec:
         kind="jit", payload=module_source.encode("utf-8"), worker=worker,
         sources=catalog_specs(rt.catalog), shared=pickle.dumps(shared),
         cleaning=pickle.dumps(rt.cleaning), row_limit=rt.row_limit,
+        stats_sources=rt._stats_spec(),
     )
 
 
@@ -173,6 +178,7 @@ def static_spec(rt, plan, shared_ix: dict) -> KernelSpec:
         kind="static", payload=pickle.dumps(plan),
         sources=catalog_specs(rt.catalog), shared=pickle.dumps(shared_ix),
         cleaning=pickle.dumps(rt.cleaning), row_limit=rt.row_limit,
+        stats_sources=rt._stats_spec(),
     )
 
 
@@ -226,16 +232,21 @@ def _child_state(spec_bytes: bytes) -> tuple:
     return state
 
 
-def _child_runtime(catalog, cleaning, row_limit):
+def _child_runtime(catalog, cleaning, row_limit, stats_sources=()):
     from ...caching import DataCache
     from .runtime import QueryRuntime
 
-    return QueryRuntime(catalog, DataCache(0), cleaning, {}, row_limit=row_limit)
+    stats_hint = {
+        src: (have_rows, frozenset(known))
+        for src, have_rows, known in stats_sources
+    }
+    return QueryRuntime(catalog, DataCache(0), cleaning, {},
+                        row_limit=row_limit, stats_hint=stats_hint)
 
 
 def _finish(rt, partial) -> tuple:
     """Package one morsel's result: packed partial + stat deltas + posmap
-    partials, all merged by the parent under its lock."""
+    and stats partials, all merged by the parent under its lock."""
     stats = (rt.stats.raw_rows, rt.stats.cleaned_rows,
              rt.stats.skipped_rows, rt.stats.cache_rows)
     posmaps = tuple(
@@ -243,20 +254,25 @@ def _finish(rt, partial) -> tuple:
         for src, by_split in rt._posmap_parts.items()
         for part in by_split.values()
     )
-    return (pack_partial(partial), stats, posmaps)
+    statparts = tuple(
+        (src, part)
+        for src, by_split in rt._stats_parts.items()
+        for part in by_split.values()
+    )
+    return (pack_partial(partial), stats, posmaps, statparts)
 
 
 def run_jit_morsel(spec_bytes: bytes, morsel) -> tuple:
     """Child task: run one JIT morsel kernel against a fresh local runtime."""
     spec, catalog, cleaning, shared, worker = _child_state(spec_bytes)
-    rt = _child_runtime(catalog, cleaning, spec.row_limit)
+    rt = _child_runtime(catalog, cleaning, spec.row_limit, spec.stats_sources)
     return _finish(rt, worker(rt, shared, morsel))
 
 
 def run_static_morsel(spec_bytes: bytes, morsel) -> tuple:
     """Child task: interpret one morsel of a static physical plan."""
     spec, catalog, cleaning, shared, (executor, plan) = _child_state(spec_bytes)
-    rt = _child_runtime(catalog, cleaning, spec.row_limit)
+    rt = _child_runtime(catalog, cleaning, spec.row_limit, spec.stats_sources)
     return _finish(rt, executor.driver_partial(plan, rt, morsel, shared))
 
 

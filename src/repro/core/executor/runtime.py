@@ -14,12 +14,14 @@ import os
 import pickle
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ...caching import DataCache
 from ...errors import ExecutionError
 from ...formats.descriptions import NULL_TOKENS
 from ...indexing import IndexPartial
 from ...mcc.monoids import get_monoid
+from ...stats import ScanTiming, StatsPartial
 from ..chunk import DEFAULT_BATCH_SIZE, MORSEL_ALL, Chunk, Morsel, split_ranges
 from .scheduler import MorselScheduler
 
@@ -93,6 +95,8 @@ class QueryRuntime:
         process_pool=None,
         indexes=None,
         engine=None,
+        table_stats=None,
+        stats_hint: dict | None = None,
     ):
         self.catalog = catalog
         self.cache = cache
@@ -128,6 +132,21 @@ class QueryRuntime:
         self._posmap_parts: dict[str, dict] = {}
         # per-morsel value-index partials, same lifecycle as posmap partials
         self._index_parts: dict[str, dict] = {}
+        #: shared :class:`~repro.stats.StatsRegistry`, or ``None`` when
+        #: adaptive statistics are off (then ``stats_hint`` may still carry
+        #: a worker child's marching orders: source → (have_rows, known
+        #: fields), so children collect exactly what the parent is missing)
+        self.table_stats = table_stats
+        self._stats_hint = stats_hint or {}
+        # per-source collection state memoised at first touch so every
+        # morsel of one scan builds identically-shaped stats sinks
+        self._stats_states: dict[str, tuple | None] = {}
+        # per-morsel stats partials, same lifecycle as index partials
+        self._stats_parts: dict[str, dict] = {}
+        #: measured per-scan wall-clock timings (serial scans only — morsel
+        #: workers overlap, so their per-worker times aren't wall-clock);
+        #: the session feeds these into the shared CostCalibration
+        self.scan_timings: list[ScanTiming] = []
         # generation token of each source captured at scan start; adoption
         # and cache admission compare it against the catalog's current token
         # under the per-source lock (adopt-or-discard)
@@ -280,7 +299,7 @@ class QueryRuntime:
                 with self._lock:
                     self.stats.morsels_cancelled += scheduler.cancelled
         partials = []
-        for morsel, (packed, deltas, posmaps) in zip(morsels, results):
+        for morsel, (packed, deltas, posmaps, statparts) in zip(morsels, results):
             raw_rows, cleaned, skipped, cache_rows = deltas
             with self._lock:
                 self.stats.raw_rows += raw_rows
@@ -289,6 +308,8 @@ class QueryRuntime:
                 self.stats.cache_rows += cache_rows
                 for src, part in posmaps:
                     self._posmap_parts.setdefault(src, {})[morsel] = part
+                for src, part in statparts:
+                    self._stats_parts.setdefault(src, {})[morsel] = part
             partials.append(procpool.unpack_partial(packed))
         return partials
 
@@ -359,6 +380,15 @@ class QueryRuntime:
                 ordered = [iparts[s] for s in splits if s in iparts]
                 if ordered:
                     self._adopt_index_partials(source, ordered)
+        sparts = self._stats_parts.pop(source, None)
+        if sparts:
+            # statistics claim full-table coverage, so (unlike row-morsel
+            # index partials) a single missing split discards the byproduct
+            # — no partial row counts, no biased min/max/NDV
+            if all(s in sparts for s in splits):
+                self._adopt_stats_partials(
+                    source, [sparts[s] for s in splits], complete=True
+                )
 
     def _adopt_index_partials(self, source: str, partials: list) -> None:
         """Merge scan-byproduct index partials into the shared registry
@@ -387,6 +417,101 @@ class QueryRuntime:
             return None
         local = split is not None and split.kind == "bytes"
         return IndexPartial(index_fields, local_rows=local)
+
+    # -- table statistics as scan byproducts --------------------------------
+
+    def _stats_state(self, source: str) -> tuple | None:
+        """(row count known?, known column names) for ``source``, or None
+        when this runtime collects no statistics. Memoised per query so all
+        morsels of one scan agree on the sink shape (bit-identity across
+        DoP depends on it)."""
+        if source in self._stats_states:
+            return self._stats_states[source]
+        if self.table_stats is not None:
+            gen = self.touch_generation(source)
+            state = self.table_stats.known(source, gen)
+        else:
+            state = self._stats_hint.get(source)
+        self._stats_states[source] = state
+        return state
+
+    def _new_stats_sink(self, source: str, fields, split=None):
+        """A stats recorder for one scan (or morsel), covering only what
+        the shared registry doesn't already know; None when nothing new
+        would be learned (steady state: scans carry no stats overhead)."""
+        state = self._stats_state(source)
+        if state is None:
+            return None
+        have_rows, known = state
+        needed = tuple(f for f in fields if f not in known)
+        if not needed and have_rows:
+            return None
+        return StatsPartial(needed)
+
+    def _adopt_stats_partials(self, source: str, partials: list,
+                              complete: bool) -> None:
+        """Atomic adopt-or-discard of scan-byproduct statistics partials.
+
+        ``complete`` asserts full row coverage (serial exhaustion, or every
+        parallel split present) — only then may ``row_count`` be learned.
+        A LIMIT-truncated execution saw a prefix, so it never adopts.
+        """
+        if self.table_stats is None or not partials or self.truncated:
+            return
+        merged = partials[0]
+        for p in partials[1:]:
+            merged.merge(p)
+        with self.catalog.source_lock(source):
+            if not self._generation_current(source):
+                self._count_engine(stats_discards=1)
+                return
+            entry = self.catalog.get(source)
+            changed = self.table_stats.adopt(
+                source, entry.generation, merged, complete
+            )
+        if changed:
+            self._count_engine(stats_adoptions=1)
+
+    def _stats_spec(self) -> tuple:
+        """Per-source collection state shipped to worker processes: each
+        child builds sinks for exactly the fields the parent is missing,
+        so parent-side adoption converges instead of double-counting."""
+        if self.table_stats is None:
+            return ()
+        out = []
+        for source in sorted(self._generations):
+            state = self._stats_state(source)
+            if state is not None:
+                have_rows, known = state
+                out.append((source, bool(have_rows), tuple(sorted(known))))
+        return tuple(out)
+
+    def _instrument(self, chunks, source: str, fmt: str, access: str,
+                    nfields: int):
+        """Wrap a serial scan's chunk stream, measuring wall-clock spent
+        *inside* the plugin iterator (consumer time excluded). On
+        exhaustion the timing is recorded for cost-model calibration; an
+        abandoned scan (LIMIT) records nothing."""
+        rows = 0
+        nchunks = 0
+        elapsed = 0.0
+        it = iter(chunks)
+        while True:
+            t0 = perf_counter()
+            try:
+                chunk = next(it)
+            except StopIteration:
+                elapsed += perf_counter() - t0
+                break
+            elapsed += perf_counter() - t0
+            rows += chunk.scanned if chunk.scanned is not None \
+                else chunk.selected_length
+            nchunks += 1
+            yield chunk
+        timing = ScanTiming(source, fmt, access, rows, nfields, nchunks,
+                            elapsed)
+        with self._lock:
+            self.scan_timings.append(timing)
 
     def _cache_scan_once(self, source: str, fields: tuple, whole: bool):
         key = (source, fields, bool(whole))
@@ -537,6 +662,12 @@ class QueryRuntime:
             clean = None
         sink = self._new_index_sink(index_fields, split) \
             if clean is None else None
+        # stats byproducts cover the materialised columns (all columns on a
+        # whole-row binding); suppressed under cleaning like index emission
+        sfields = tuple(fields) if fields \
+            else (tuple(plugin.columns) if whole else ())
+        ssink = self._new_stats_sink(source, sfields, split) \
+            if clean is None else None
         if split is None:
             self.stats.raw_sources.add(source)
             self.stats.raw_bytes += os.path.getsize(plugin.path)
@@ -551,12 +682,16 @@ class QueryRuntime:
                 pm_partial = plugin.new_posmap_partial()
             count = 0
             skipped_before = self.stats.skipped_rows
-            for chunk in plugin.scan_chunks(
-                fields, batch_size=batch_size, device=self.device_for(source),
-                clean=clean, whole=whole, access=access,
-                posmap_partial=pm_partial,
-                pred_fields=pred_fields, pred_kernel=pred_kernel,
-                index_sink=sink,
+            for chunk in self._instrument(
+                plugin.scan_chunks(
+                    fields, batch_size=batch_size,
+                    device=self.device_for(source),
+                    clean=clean, whole=whole, access=access,
+                    posmap_partial=pm_partial,
+                    pred_fields=pred_fields, pred_kernel=pred_kernel,
+                    index_sink=sink, stats_sink=ssink,
+                ),
+                source, "csv", access, len(sfields),
             ):
                 count += chunk.scanned if chunk.scanned is not None \
                     else chunk.selected_length
@@ -567,6 +702,8 @@ class QueryRuntime:
                 self._adopt_posmap(source, [pm_partial], expect=pm_expect)
             if sink is not None:
                 self._adopt_index_partials(source, [sink])
+            if ssink is not None:
+                self._adopt_stats_partials(source, [ssink], complete=True)
             return
         local = ExecStats()
         if clean is not None:
@@ -582,7 +719,7 @@ class QueryRuntime:
             clean=clean, whole=whole, access=access, split=split,
             posmap_partial=partial,
             pred_fields=pred_fields, pred_kernel=pred_kernel,
-            index_sink=sink,
+            index_sink=sink, stats_sink=ssink,
         ):
             count += chunk.scanned if chunk.scanned is not None \
                 else chunk.selected_length
@@ -595,6 +732,8 @@ class QueryRuntime:
                 self._posmap_parts.setdefault(source, {})[split] = partial
             if sink is not None:
                 self._index_parts.setdefault(source, {})[split] = sink
+            if ssink is not None:
+                self._stats_parts.setdefault(source, {})[split] = ssink
 
     def json_chunks(
         self,
@@ -614,25 +753,35 @@ class QueryRuntime:
         plugin = entry.plugin
         self.touch_generation(source)
         sink = self._new_index_sink(index_fields, split)
+        ssink = self._new_stats_sink(source, tuple(paths), split)
+        access = "warm" if plugin.has_semi_index() else "cold"
         if split is None:
             self.stats.raw_sources.add(source)
             self.stats.raw_bytes += os.path.getsize(plugin.path)
         count = 0
-        for chunk in plugin.scan_chunks(paths, batch_size=batch_size,
-                                        device=self.device_for(source),
-                                        whole=whole, split=split,
-                                        index_sink=sink):
+        chunks = plugin.scan_chunks(paths, batch_size=batch_size,
+                                    device=self.device_for(source),
+                                    whole=whole, split=split,
+                                    index_sink=sink, stats_sink=ssink)
+        if split is None:
+            chunks = self._instrument(chunks, source, "json", access,
+                                      len(paths))
+        for chunk in chunks:
             count += chunk.selected_length
             yield chunk
         if split is None:
             self.stats.raw_rows += count
             if sink is not None:
                 self._adopt_index_partials(source, [sink])
+            if ssink is not None:
+                self._adopt_stats_partials(source, [ssink], complete=True)
         else:
             with self._lock:
                 self.stats.raw_rows += count
                 if sink is not None:
                     self._index_parts.setdefault(source, {})[split] = sink
+                if ssink is not None:
+                    self._stats_parts.setdefault(source, {})[split] = ssink
 
     def index_chunks(
         self,
@@ -770,20 +919,31 @@ class QueryRuntime:
     ):
         """Batched binary-array scan (fused-struct batch decode)."""
         entry = self.catalog.get(source)
+        self.touch_generation(source)
+        ssink = self._new_stats_sink(source, tuple(fields), split)
         if split is None:
             self.stats.raw_sources.add(source)
             self.stats.raw_bytes += os.path.getsize(entry.plugin.path)
         count = 0
-        for chunk in entry.plugin.scan_chunks(fields, batch_size=batch_size,
-                                              device=self.device_for(source),
-                                              whole=whole, split=split):
+        chunks = entry.plugin.scan_chunks(fields, batch_size=batch_size,
+                                          device=self.device_for(source),
+                                          whole=whole, split=split,
+                                          stats_sink=ssink)
+        if split is None:
+            chunks = self._instrument(chunks, source, "array", "cold",
+                                      len(fields))
+        for chunk in chunks:
             count += chunk.selected_length
             yield chunk
         if split is None:
             self.stats.raw_rows += count
+            if ssink is not None:
+                self._adopt_stats_partials(source, [ssink], complete=True)
         else:
             with self._lock:
                 self.stats.raw_rows += count
+                if ssink is not None:
+                    self._stats_parts.setdefault(source, {})[split] = ssink
 
     def xls_chunks(
         self,

@@ -84,9 +84,16 @@ MIN_INDEX_COVERAGE = 0.5
 PROCESS_SPAWN_COST = 30000.0
 PROCESS_MORSEL_IPC_COST = 1500.0
 
+#: estimated work (abstract units) below which generating + exec-compiling
+#: a query module costs more than it saves over the static interpreter —
+#: the per-query engine-selection threshold ("An Empirical Analysis of
+#: Just-in-Time Compilation in Modern Databases": compile time only pays
+#: off above a size threshold). A session-cached compile is always free.
+COMPILE_COST = 2500.0
+
 
 def choose_batch_size(rows: int, nfields: int = 1, fmt: str = "csv",
-                      access: str = "cold") -> int:
+                      access: str = "cold", calibration=None) -> int:
     """Pick a power-of-two rows-per-chunk for a scan.
 
     The floor amortises per-chunk dispatch: a batch must carry enough
@@ -97,7 +104,7 @@ def choose_batch_size(rows: int, nfields: int = 1, fmt: str = "csv",
     tiny sources don't plan a batch far beyond their estimated row count.
     """
     nfields = max(1, nfields)
-    per_value = access_factor(fmt, access)
+    per_value = access_factor(fmt, access, calibration)
     amortising = CHUNK_DISPATCH_COST / (
         DISPATCH_OVERHEAD_BUDGET * nfields * per_value
     )
@@ -113,7 +120,7 @@ def choose_batch_size(rows: int, nfields: int = 1, fmt: str = "csv",
 
 
 def choose_parallelism(requested: int, rows: int, nfields: int,
-                       fmt: str, access: str) -> int:
+                       fmt: str, access: str, calibration=None) -> int:
     """Degree of parallelism for one scan, capped by worthwhile work.
 
     Each morsel pays ``MORSEL_SETUP_COST`` (worker dispatch, split
@@ -125,13 +132,13 @@ def choose_parallelism(requested: int, rows: int, nfields: int,
     """
     if requested <= 1 or rows < 2:
         return 1
-    work = rows * max(1, nfields) * access_factor(fmt, access)
+    work = rows * max(1, nfields) * access_factor(fmt, access, calibration)
     worthwhile = int(work // (MORSEL_MIN_WORK_FACTOR * MORSEL_SETUP_COST))
     return max(1, min(requested, worthwhile))
 
 
 def choose_backend(requested: str, rows: int, nfields: int,
-                   fmt: str, access: str, dop: int) -> str:
+                   fmt: str, access: str, dop: int, calibration=None) -> str:
     """Execution substrate for one parallel scan: ``process`` only when the
     estimated conversion work amortizes the backend's fixed costs.
 
@@ -143,7 +150,7 @@ def choose_backend(requested: str, rows: int, nfields: int,
     """
     if requested != "process" or dop <= 1:
         return "thread"
-    work = rows * max(1, nfields) * access_factor(fmt, access)
+    work = rows * max(1, nfields) * access_factor(fmt, access, calibration)
     if work < PROCESS_SPAWN_COST:
         return "thread"
     if work / dop < MORSEL_MIN_WORK_FACTOR * PROCESS_MORSEL_IPC_COST:
@@ -151,9 +158,28 @@ def choose_backend(requested: str, rows: int, nfields: int,
     return "process"
 
 
-def access_factor(fmt: str, access: str) -> float:
-    """Normalized per-attribute fetch cost for a (format, access-path) pair."""
+def access_factor(fmt: str, access: str, calibration=None) -> float:
+    """Normalized per-attribute fetch cost for a (format, access-path) pair.
+
+    With a :class:`~repro.stats.CostCalibration` the measured-runtime
+    calibrated factor is used instead of the hand-tuned table. A pair
+    neither knows falls back to ``2.0`` — callers should check
+    :func:`factor_known` and surface the miscalibration rather than let
+    the default pass silently.
+    """
+    if calibration is not None:
+        f = calibration.factor(fmt, access)
+        if f is not None:
+            return f * CONST_COST
     return COST_FACTORS.get((fmt, access), 2.0) * CONST_COST
+
+
+def factor_known(fmt: str, access: str, calibration=None) -> bool:
+    """True when the cost model actually knows this (format, access) pair
+    (as opposed to silently serving the 2.0 default)."""
+    if calibration is not None and calibration.factor(fmt, access) is not None:
+        return True
+    return (fmt, access) in COST_FACTORS
 
 
 def predicate_selectivity(pred: A.Expr) -> float:
@@ -215,13 +241,21 @@ def estimate_scan(
     nfields: int,
     preds: list[A.Expr],
     batch_size: int = 0,
+    calibration=None,
+    selectivity: float | None = None,
 ) -> ScanEstimate:
     """Estimate a scan: conversion scales with extracted attribute count,
-    dispatch with the number of chunks the chosen batch size implies."""
-    selectivity = 1.0
-    for p in preds:
-        selectivity *= predicate_selectivity(p)
-    per_row = access_factor(fmt, access) * max(1, nfields)
+    dispatch with the number of chunks the chosen batch size implies.
+
+    ``selectivity`` overrides the textbook per-operator guesses with a
+    statistics-derived estimate (min/max interpolation, NDV) when the
+    adaptive planner has one; ``calibration`` substitutes measured
+    per-(format, access) factors for the hand-tuned table."""
+    if selectivity is None:
+        selectivity = 1.0
+        for p in preds:
+            selectivity *= predicate_selectivity(p)
+    per_row = access_factor(fmt, access, calibration) * max(1, nfields)
     return ScanEstimate(rows=rows, cost_per_row=per_row,
                         selectivity=selectivity, batch_size=batch_size)
 

@@ -1,0 +1,126 @@
+"""Bottom-up join-order enumeration over statistics (adaptive planner).
+
+Replaces syntax-driven greedy ordering with a left-deep dynamic program
+over the plan's ``_Unit`` building blocks, costed with the C_out metric:
+
+    cost(S ∪ {u}) = cost(S) + scan_cost(u) + |S ⋈ u|
+
+i.e. every intermediate row produced is a unit of downstream work, so the
+enumerator minimises the total volume of tuples flowing through the plan
+— the standard System-R-family objective, cheap enough here because ViDa
+queries join a handful of raw files, not dozens of tables.
+
+Join edges carry statistics-derived selectivities (``1 / max(ndv_left,
+ndv_right)`` for equi-joins, from the KMV sketches); unit-less pairs fall
+back to row-count heuristics in the planner. A missing edge means a cross
+join and costs the full row product — the DP avoids those naturally
+without a connectivity restriction.
+
+Cutoffs: the DP enumerates up to :data:`MAX_DP_UNITS` relations (left-deep
+subsets: n·2ⁿ states, trivial at 8); larger queries keep the greedy
+ordering, whose result is still re-costed through :func:`estimate_cards`
+so EXPLAIN always shows cardinality estimates. Dependent unnests only
+enter once their source variables are bound, and expand rows by the same
+``UNNEST_FANOUT`` the tree builder assumes.
+
+All tie-breaks are deterministic (cost, then variable-name order), so
+equal-cost plans never flap between runs.
+"""
+
+from __future__ import annotations
+
+#: left-deep DP cutoff: beyond this many units the greedy order stands
+MAX_DP_UNITS = 8
+
+#: assumed rows produced per input row by a dependent unnest (matches the
+#: tree builder's plan_rows bookkeeping)
+UNNEST_FANOUT = 5.0
+
+
+def edge_key(v1: str, v2: str) -> frozenset:
+    return frozenset((v1, v2))
+
+
+def _step_rows(rows_so_far: float, u, bound: set, edges: dict) -> float:
+    """Estimated output rows after joining ``u`` into a prefix with
+    ``rows_so_far`` rows binding ``bound`` variables."""
+    if u.kind == "unnest":
+        return rows_so_far * UNNEST_FANOUT
+    sel = 1.0
+    hit = False
+    for v in bound:
+        s = edges.get(edge_key(v, u.var))
+        if s is not None:
+            sel *= s
+            hit = True
+    if not hit:
+        return rows_so_far * u.est_rows  # cross join: full product
+    return max(1.0, rows_so_far * u.est_rows * sel)
+
+
+def estimate_cards(ordered: list, edges: dict) -> list[float]:
+    """Per-step cardinality estimates for a given unit order (the numbers
+    EXPLAIN shows next to the join order)."""
+    cards: list[float] = []
+    rows = 1.0
+    bound: set = set()
+    for i, u in enumerate(ordered):
+        if i == 0:
+            rows = u.est_rows if u.kind != "unnest" else UNNEST_FANOUT
+        else:
+            rows = _step_rows(rows, u, bound, edges)
+        bound.add(u.var)
+        cards.append(rows)
+    return cards
+
+
+def enumerate_order(units: list, edges: dict) -> list | None:
+    """Left-deep DP join order minimising C_out; None when out of range.
+
+    ``units`` must carry ``var``, ``kind``, ``deps``, ``est_rows`` and
+    ``est_cost``; ``edges`` maps ``edge_key(v1, v2)`` to an equi-join
+    selectivity. Unnest dependency order is respected (a dependent unit
+    only extends prefixes that bind all its sources).
+    """
+    n = len(units)
+    if n < 2 or n > MAX_DP_UNITS:
+        return None
+
+    # dp[mask] = (cost, rows, order) — the cheapest left-deep prefix
+    # covering exactly the units in `mask`
+    dp: dict[int, tuple[float, float, tuple]] = {}
+    var_of = [u.var for u in units]
+
+    for i, u in enumerate(units):
+        if u.deps:
+            continue  # an unnest cannot drive the plan
+        start_rows = u.est_rows if u.kind != "unnest" else UNNEST_FANOUT
+        dp[1 << i] = (u.est_cost + start_rows, start_rows, (i,))
+
+    # every proper subset of a mask is numerically smaller, so ascending
+    # mask order visits prefixes before their extensions
+    for mask in range(1, 1 << n):
+        state = dp.get(mask)
+        if state is None:
+            continue
+        cost, rows, order = state
+        bound = {var_of[i] for i in order}
+        for j, u in enumerate(units):
+            bit = 1 << j
+            if mask & bit:
+                continue
+            if not (u.deps <= bound):
+                continue
+            new_rows = _step_rows(rows, u, bound, edges)
+            new_cost = cost + u.est_cost + new_rows
+            new_order = order + (j,)
+            prev = dp.get(mask | bit)
+            if prev is None or (new_cost, tuple(var_of[i] for i in new_order)) \
+                    < (prev[0], tuple(var_of[i] for i in prev[2])):
+                dp[mask | bit] = (new_cost, new_rows, new_order)
+
+    full = (1 << n) - 1
+    best = dp.get(full)
+    if best is None:
+        return None  # unsatisfiable deps (cycle) — let the greedy path raise
+    return [units[i] for i in best[2]]

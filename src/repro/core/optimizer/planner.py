@@ -70,13 +70,56 @@ class PlanDecisions:
     filters: dict[str, str] = field(default_factory=dict)       # var → vec | row
     cache_served: bool = False
     notes: list[str] = field(default_factory=list)
+    #: var → estimated input rows for its scan (post-pushdown output rows)
+    est_rows: dict[str, float] = field(default_factory=dict)
+    #: var → estimated scan cost (abstract attribute-fetch units)
+    est_cost: dict[str, float] = field(default_factory=dict)
+    #: estimated intermediate cardinality after each join-order step
+    #: (aligned with ``join_order``; adaptive planner only)
+    join_cards: list[float] = field(default_factory=list)
+    #: whole-plan estimated cost (scan costs + intermediate tuple volume) —
+    #: the number per-query engine selection compares against COMPILE_COST
+    total_est_cost: float = 0.0
+    #: per-query engine decision ("jit" | "static") with its reason, set by
+    #: the session when default_engine="auto"
+    engine_choice: str = ""
+
+    def clone(self) -> "PlanDecisions":
+        """Independent copy for prepared-plan reuse: per-execution fields
+        (notes, engine_choice) must not accrete across executions."""
+        return PlanDecisions(
+            access=dict(self.access), join_order=list(self.join_order),
+            populate=dict(self.populate), batch=dict(self.batch),
+            parallel=dict(self.parallel),
+            parallel_backend=dict(self.parallel_backend),
+            filters=dict(self.filters), cache_served=self.cache_served,
+            notes=list(self.notes), est_rows=dict(self.est_rows),
+            est_cost=dict(self.est_cost), join_cards=list(self.join_cards),
+            total_est_cost=self.total_est_cost,
+            engine_choice=self.engine_choice,
+        )
 
     def summary(self) -> str:
         parts = [f"{v}:{a}" for v, a in self.access.items()]
+        if self.join_cards and len(self.join_cards) == len(self.join_order):
+            order = " -> ".join(
+                f"{v}(~{int(c)})"
+                for v, c in zip(self.join_order, self.join_cards)
+            )
+        else:
+            order = " -> ".join(self.join_order)
         out = (
-            f"access[{', '.join(parts)}] order[{' -> '.join(self.join_order)}]"
+            f"access[{', '.join(parts)}] order[{order}]"
             + (" cache-served" if self.cache_served else "")
         )
+        if self.est_rows:
+            out += " est[" + ", ".join(
+                f"{v}:{int(r)}r@{int(self.est_cost.get(v, 0))}u"
+                for v, r in self.est_rows.items()) + "]"
+        if self.total_est_cost:
+            out += f" total_cost~{int(self.total_est_cost)}u"
+        if self.engine_choice:
+            out += f" engine[{self.engine_choice}]"
         if self.batch:
             out += " batch[" + ", ".join(
                 f"{v}:{b}" for v, b in self.batch.items()) + "]"
@@ -134,6 +177,9 @@ class Planner:
         backend: str = "thread",
         cleaning_policies: dict | None = None,
         indexes=None,
+        stats=None,
+        calibration=None,
+        adaptive: bool = False,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
@@ -162,6 +208,15 @@ class Planner:
         #: value indexes are disabled; drives both access-path selection
         #: (access=index) and byproduct-emission marking
         self.indexes = indexes
+        #: shared :class:`~repro.stats.StatsRegistry` (JIT table statistics)
+        self.stats = stats
+        #: shared :class:`~repro.stats.CostCalibration` — measured-runtime
+        #: calibrated cost constants; None keeps the hand-tuned table
+        self.calibration = calibration
+        #: statistics-driven planning on: exact row counts, min/max + NDV
+        #: selectivities, and DP join-order enumeration replace the
+        #: syntax-order greedy heuristics
+        self.adaptive = adaptive
 
     # -- public -----------------------------------------------------------
 
@@ -246,10 +301,11 @@ class Planner:
             )
             return "thread"
         entry = self.catalog.get(scan.source)
-        rows = C.source_row_estimate(entry)
+        rows = self._row_estimate(entry)
         chosen = C.choose_backend(
             "process", rows, len(scan.chunk_fields()) or 1,
             scan.format, scan.access, dop,
+            calibration=self.calibration,
         )
         if chosen != "process":
             decisions.notes.append(
@@ -326,11 +382,21 @@ class Planner:
         else:
             return 1  # memory / dbms / xls scans hand over serially
         entry = self.catalog.get(scan.source)
-        rows = C.source_row_estimate(entry)
+        rows = self._row_estimate(entry)
         return C.choose_parallelism(
             self.parallelism, rows, len(scan.chunk_fields()) or 1,
             cost_fmt, scan.access,
+            calibration=self.calibration,
         )
+
+    def _row_estimate(self, entry) -> int:
+        """Source row count: exact from JIT table stats when available,
+        otherwise the bytes-per-row guess."""
+        if self.adaptive and self.stats is not None:
+            tstats = self.stats.peek(entry.name, entry.generation)
+            if tstats is not None and tstats.row_count is not None:
+                return max(1, tstats.row_count)
+        return C.source_row_estimate(entry)
 
     # -- flattening -----------------------------------------------------------
 
@@ -403,23 +469,157 @@ class Planner:
         for u in units:
             self._configure_unit(u, usage, decisions)
 
-        ordered = self._order_units(units, equi)
+        cards: list[float] = []
+        if self.adaptive and len(units) >= 2:
+            from . import enumerator as E
+
+            edges = self._edge_selectivities(unit_by_var, equi)
+            ordered = E.enumerate_order(units, edges)
+            if ordered is None:
+                # beyond the DP cutoff (or dependency cycle): greedy order,
+                # still re-costed so EXPLAIN carries cardinalities
+                ordered = self._order_units(units, equi)
+                if len(units) > E.MAX_DP_UNITS:
+                    decisions.notes.append(
+                        f"join order: {len(units)} units exceed DP cutoff "
+                        f"({E.MAX_DP_UNITS}); greedy order"
+                    )
+            cards = E.estimate_cards(ordered, edges)
+        else:
+            ordered = self._order_units(units, equi)
+            if self.adaptive and units:
+                cards = [units[0].est_rows]
         decisions.join_order.extend(u.var for u in ordered)
+        decisions.join_cards.extend(cards)
+        decisions.total_est_cost += sum(u.est_cost for u in units) + (
+            sum(cards) if cards else sum(u.est_rows for u in units)
+        )
 
         return self._build_tree(ordered, unit_by_var, equi, residual, decisions,
                                 extra_exprs)
+
+    def _edge_selectivities(self, unit_by_var: dict, equi) -> dict:
+        """Equi-join edge selectivities from the KMV sketches:
+        ``1 / max(ndv_left, ndv_right)`` per predicate (the textbook
+        containment assumption), multiplied across predicates on the same
+        variable pair. Units without statistics fall back to their row
+        estimate as the NDV (unique-key assumption)."""
+        from . import enumerator as E
+
+        edges: dict = {}
+        for v1, v2, e1, e2 in equi:
+            ndv1 = self._join_ndv(unit_by_var.get(v1), e1)
+            ndv2 = self._join_ndv(unit_by_var.get(v2), e2)
+            sel = 1.0 / max(1.0, ndv1, ndv2)
+            key = E.edge_key(v1, v2)
+            edges[key] = edges.get(key, 1.0) * sel
+        return edges
+
+    def _join_ndv(self, u: _Unit | None, key_expr: A.Expr) -> float:
+        """Distinct-count estimate for one side of an equi-join key."""
+        if u is None:
+            return 1.0
+        fallback = max(1.0, u.est_rows)
+        if u.kind != "scan" or self.stats is None:
+            return fallback
+        entry = self.catalog.get(u.node.source)
+        fname = _proj_field(key_expr, u.var, entry.format)
+        if fname is None:
+            return fallback
+        tstats = self.stats.peek(entry.name, entry.generation)
+        cs = tstats.column(fname) if tstats is not None else None
+        if cs is None or cs.count == 0:
+            return fallback
+        return float(max(1, cs.ndv))
+
+    def _stats_selectivity(self, u: _Unit, entry, tstats) -> float | None:
+        """Statistics-based selectivity for the unit's pushed conjuncts.
+
+        Each conjunct with column stats is estimated from min/max + NDV;
+        the rest keep the textbook per-operator guesses. Returns None (no
+        override) unless at least one conjunct hit stats, so the cost
+        model's defaults stay authoritative on never-scanned sources.
+        """
+        if tstats is None or not u.pushed:
+            return None
+        sel = 1.0
+        hit = False
+        for p in u.pushed:
+            s = self._conjunct_selectivity(p, u.var, entry.format, tstats)
+            if s is None:
+                sel *= C.predicate_selectivity(p)
+            else:
+                sel *= s
+                hit = True
+        return min(1.0, max(0.0, sel)) if hit else None
+
+    def _conjunct_selectivity(self, p, var: str, fmt: str,
+                              tstats) -> float | None:
+        """One pushed conjunct's selectivity from column statistics, or
+        None when the conjunct's shape or the column's stats can't say."""
+        if not isinstance(p, A.BinOp):
+            return None
+        op, lhs, rhs = p.op, p.left, p.right
+        fname = _proj_field(lhs, var, fmt)
+        if fname is None and op in _COMPARE_FLIP:
+            fname = _proj_field(rhs, var, fmt)
+            if fname is not None:
+                op, lhs, rhs = _COMPARE_FLIP[op], rhs, lhs
+        elif fname is None and op in ("=", "!="):
+            fname = _proj_field(rhs, var, fmt)
+            if fname is not None:
+                lhs, rhs = rhs, lhs
+        if fname is None:
+            return None
+        cs = tstats.column(fname)
+        if cs is None or cs.count == 0:
+            return None
+        const = _const_fold(rhs)
+        if const is _NO_FOLD:
+            return None
+        notnull = 1.0 - cs.null_fraction
+        ndv = float(max(1, cs.ndv))
+        numeric = isinstance(const, (int, float)) and not isinstance(const, bool)
+        if op == "=":
+            if numeric and cs.num_min is not None \
+                    and not (cs.num_min <= const <= cs.num_max):
+                return 0.0  # probe outside the observed domain
+            return notnull / ndv
+        if op == "!=":
+            return notnull * (1.0 - 1.0 / ndv)
+        if op == "in":
+            if not isinstance(const, tuple):
+                return None
+            return min(1.0, len(const) / ndv) * notnull
+        if op in _COMPARE_FLIP:
+            if not numeric or cs.num_min is None or cs.num_max is None:
+                return None
+            lo, hi = float(cs.num_min), float(cs.num_max)
+            if hi <= lo:  # single-point domain
+                covers = (const >= lo) if op in ("<", "<=") else (const <= lo)
+                return notnull if covers else 0.0
+            t = min(1.0, max(0.0, (float(const) - lo) / (hi - lo)))
+            frac = t if op in ("<", "<=") else 1.0 - t
+            return frac * notnull
+        return None
 
     def _configure_unit(self, u: _Unit, usage: dict[str, VarUsage],
                         decisions: PlanDecisions) -> None:
         use = usage.get(u.var, VarUsage())
         if u.kind == "expr":
             u.est_rows, u.est_cost, u.access = 10.0, 10.0, "memory"
+            decisions.est_rows[u.var] = u.est_rows
+            decisions.est_cost[u.var] = u.est_cost
             return
         if u.kind == "unnest":
             u.est_rows, u.est_cost, u.access = 10.0, 1.0, "memory"
+            decisions.est_rows[u.var] = u.est_rows
+            decisions.est_cost[u.var] = u.est_cost
             return
         if u.kind == "nest":
             u.est_rows, u.est_cost, u.access = 100.0, 500.0, "memory"
+            decisions.est_rows[u.var] = u.est_rows
+            decisions.est_cost[u.var] = u.est_cost
             return
 
         entry = self.catalog.get(u.node.source)
@@ -431,6 +631,13 @@ class Planner:
             u.fields = use.top_fields()
 
         rows = C.source_row_estimate(entry)
+        tstats = None
+        if self.adaptive and self.stats is not None:
+            tstats = self.stats.peek(entry.name, entry.generation)
+            if tstats is not None and tstats.row_count is not None:
+                # exact cardinality, collected as a byproduct of an earlier
+                # scan — supersedes the bytes-per-row guess
+                rows = max(1, tstats.row_count)
         if entry.data is not None or fmt == "memory":
             u.access = "memory"
         elif fmt == "dbms":
@@ -451,14 +658,24 @@ class Planner:
         batched = fmt in ("csv", "json", "array", "xls") and u.access in ("cold", "warm")
         if batched:
             u.batch_size = self.batch_size if self.batch_size is not None \
-                else C.choose_batch_size(rows, len(u.fields) or 1, fmt, u.access)
+                else C.choose_batch_size(rows, len(u.fields) or 1, fmt,
+                                         u.access,
+                                         calibration=self.calibration)
             decisions.batch[u.var] = u.batch_size
 
         cost_fmt = "cache" if u.access == "cache" else (
             "memory" if u.access == "memory" else fmt
         )
+        if not C.factor_known(cost_fmt, u.access, self.calibration):
+            decisions.notes.append(
+                f"{u.var}: no cost factor for ({cost_fmt!r}, {u.access!r}); "
+                "defaulting to 2.0 — calibrate or extend COST_FACTORS"
+            )
+        sel_override = self._stats_selectivity(u, entry, tstats)
         est = C.estimate_scan(cost_fmt, u.access, rows, len(u.fields) or 1,
-                              u.pushed, batch_size=u.batch_size if batched else 0)
+                              u.pushed, batch_size=u.batch_size if batched else 0,
+                              calibration=self.calibration,
+                              selectivity=sel_override)
         u.est_rows = max(1.0, est.output_rows)
         u.est_cost = est.total_cost
 
@@ -467,6 +684,8 @@ class Planner:
             self._choose_index_access(u, entry, fmt, rows, decisions)
 
         decisions.access[u.var] = u.access
+        decisions.est_rows[u.var] = u.est_rows
+        decisions.est_cost[u.var] = u.est_cost
 
     def _cache_covers(self, source: str, u: _Unit) -> bool:
         if u.whole:
@@ -564,6 +783,7 @@ class Planner:
                 index_lookup=u.index_lookup, index_emit=u.index_emit,
                 sel_push=sel_push,
                 vec_filter=self.vector_filters,
+                est_rows=u.est_rows, est_cost=u.est_cost,
             )
             if scan.pred is not None:
                 if scan.sel_push:

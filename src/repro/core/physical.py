@@ -160,6 +160,10 @@ class PhysScan(PhysNode):
     #: EXPLAIN reflects the strategy that will actually run
     #: (``ViDa(vector_filters=False)`` compiles row-at-a-time tests)
     vec_filter: bool = True
+    #: planner estimates (output rows after pushed predicates, total cost
+    #: units) — informational, surfaced by EXPLAIN; 0.0 = not estimated
+    est_rows: float = 0.0
+    est_cost: float = 0.0
 
     def bound_vars(self):
         return (self.var,)
@@ -389,6 +393,10 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
                 extras.append(f"index[{node.index_eq[0]}={node.index_eq[1]!r}]")
         if node.index_emit:
             extras.append(f"index-emit=[{', '.join(node.index_emit)}]")
+        if node.est_rows or node.est_cost:
+            extras.append(
+                f"est_rows=~{node.est_rows:.0f} est_cost=~{node.est_cost:.0f}"
+            )
         return f"{pad}Scan({node.source} as {node.var}; {', '.join(extras)})"
     if isinstance(node, PhysExprScan):
         s = f"{pad}ExprScan({pretty(node.expr)} as {node.var}"

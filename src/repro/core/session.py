@@ -86,6 +86,14 @@ class QueryStats:
     index_hits: int = 0
     #: rows fetched via index candidate lists (vs. full-scan raw_rows)
     index_rows_served: int = 0
+    #: physical plan reused from the prepared-statement cache (same text,
+    #: same plan epoch — planning was skipped entirely)
+    plan_cached: bool = False
+    #: planner's total cost estimate for the chosen plan, in cost units
+    est_cost_units: float = 0.0
+    #: the estimate converted to milliseconds through the calibrated
+    #: unit_ms — comparable against execute_ms to judge the model
+    est_ms: float = 0.0
 
 
 @dataclass
@@ -127,11 +135,14 @@ class ViDa:
         backend: str = "thread",
         vector_filters: bool = True,
         enable_indexes: bool = True,
+        adaptive_stats: bool = True,
         context: EngineContext | None = None,
         cache_write_quota_bytes: int | None = None,
     ):
-        if default_engine not in ("jit", "static"):
-            raise ViDaError(f"unknown engine {default_engine!r} (jit | static)")
+        if default_engine not in ("jit", "static", "auto"):
+            raise ViDaError(
+                f"unknown engine {default_engine!r} (jit | static | auto)"
+            )
         if batch_size is not None and batch_size < 1:
             raise ViDaError(f"batch_size must be >= 1, got {batch_size}")
         if parallelism < 1:
@@ -190,16 +201,26 @@ class ViDa:
         #: to value indexes the same just-in-time way). False disables both
         #: emission and index access paths — the differential baseline.
         self.enable_indexes = enable_indexes
+        #: statistics-driven adaptive optimization: collect table stats as
+        #: scan byproducts, feed them into selectivity estimation and join
+        #: ordering, and recalibrate cost constants from measured scan
+        #: times. False is the differential baseline: no collection, greedy
+        #: syntax-driven join order, hand-calibrated constants only.
+        self.adaptive_stats = adaptive_stats
         self.cleaning: dict[str, object] = {}
         self.devices: dict[str, object] = {}
         self.query_log: list[QueryStats] = []
-        # prepared-statement cache: query text → (parsed, normalized) AST.
-        # Both are pure functions of the text, so reuse is always safe;
-        # planning/typechecking still run per query (they see catalog and
-        # cache state). LRU-bounded alongside the JIT compile cache; the
-        # lock keeps the pop/re-insert LRU dance atomic when a tenant
-        # pipelines concurrent queries through one session.
-        self._prepared: dict[str, tuple] = {}
+        # prepared-statement cache: query text →
+        # [parsed, normalized, plan_epoch, plan, decisions]. The ASTs are
+        # pure functions of the text, so their reuse is always safe; the
+        # physical plan is only reused while the plan epoch (catalog shape,
+        # file generations, table statistics, cost calibration, session
+        # knobs) is unchanged — a plan built before stats arrived or before
+        # a file mutated is replanned, never served stale. LRU-bounded
+        # alongside the JIT compile cache; the lock keeps the pop/re-insert
+        # LRU dance atomic when a tenant pipelines concurrent queries
+        # through one session.
+        self._prepared: dict[str, list] = {}
         self._max_prepared = 256
         self._prepared_lock = threading.Lock()
 
@@ -297,7 +318,7 @@ class ViDa:
         if prepared is not None:
             with self._prepared_lock:
                 self._prepared[text_or_expr] = prepared  # LRU move-to-end
-            expr, norm = prepared
+            expr, norm = prepared[0], prepared[1]
             t0 = time.perf_counter()
             typecheck(expr, self.catalog.type_env())
             stats.typecheck_ms = (time.perf_counter() - t0) * 1e3
@@ -315,10 +336,11 @@ class ViDa:
             norm = normalize(expr)
             stats.normalize_ms = (time.perf_counter() - t0) * 1e3
             if isinstance(text_or_expr, str):
+                prepared = [expr, norm, None, None, None]
                 with self._prepared_lock:
                     if len(self._prepared) >= self._max_prepared:
                         self._prepared.pop(next(iter(self._prepared)))
-                    self._prepared[text_or_expr] = (expr, norm)
+                    self._prepared[text_or_expr] = prepared
 
         # freshness: in-place updates drop auxiliary structures + cache entries
         for src in referenced_sources(norm, self.catalog.names()):
@@ -333,10 +355,14 @@ class ViDa:
                                process_pool=self._worker_pool(),
                                indexes=self.indexes if self.enable_indexes
                                else None,
-                               engine=self._engine)
+                               engine=self._engine,
+                               table_stats=self._engine.table_stats
+                               if self.adaptive_stats else None)
 
         if not isinstance(norm, A.Comprehension):
             # Merge-of-comprehensions / constant expressions: interpret.
+            if engine == "auto":
+                stats.engine = engine = "static"
             t0 = time.perf_counter()
             value = eval_expr(norm, {}, runtime)
             stats.execute_ms = (time.perf_counter() - t0) * 1e3
@@ -347,9 +373,23 @@ class ViDa:
             return QueryResult(self._shape_output(value, output), stats)
 
         t0 = time.perf_counter()
-        algebra = translate(norm, self.catalog.names())
-        plan, decisions = self._planner().plan(algebra)
+        epoch = self._plan_epoch()
+        if prepared is not None and prepared[3] is not None \
+                and prepared[2] == epoch:
+            plan, decisions = prepared[3], prepared[4].clone()
+            stats.plan_cached = True
+        else:
+            algebra = translate(norm, self.catalog.names())
+            plan, decisions = self._planner().plan(algebra)
+            if prepared is not None:
+                with self._prepared_lock:
+                    prepared[2], prepared[3] = epoch, plan
+                    prepared[4] = decisions.clone()
         stats.plan_ms = (time.perf_counter() - t0) * 1e3
+        stats.est_cost_units = decisions.total_est_cost
+
+        if engine == "auto":
+            stats.engine = engine = self._resolve_engine(plan, decisions)
 
         code = ""
         t0 = time.perf_counter()
@@ -365,6 +405,14 @@ class ViDa:
         stats.execute_ms = (time.perf_counter() - t0) * 1e3
         stats.total_ms = (time.perf_counter() - t_start) * 1e3
         self._fill_exec_stats(stats, runtime)
+        if self.adaptive_stats:
+            # convert the estimate to ms *before* folding this query's
+            # timings in, so est vs. measured reflects the model that
+            # actually planned the query
+            stats.est_ms = self._engine.calibration.estimated_ms(
+                decisions.total_est_cost)
+            if runtime.scan_timings:
+                self._engine.calibration.observe(runtime.scan_timings)
         self.query_log.append(stats)
 
         value = self._apply_limit(value, limit)
@@ -432,7 +480,49 @@ class ViDa:
                        vector_filters=self.vector_filters,
                        backend=self.backend,
                        cleaning_policies=self.cleaning,
-                       indexes=self.indexes if self.enable_indexes else None)
+                       indexes=self.indexes if self.enable_indexes else None,
+                       stats=self._engine.table_stats
+                       if self.adaptive_stats else None,
+                       calibration=self._engine.calibration
+                       if self.adaptive_stats else None,
+                       adaptive=self.adaptive_stats)
+
+    def _plan_epoch(self) -> tuple:
+        """Every planner input beyond the query text: the engine-level
+        epoch (catalog, generations, stats, calibration, cache movement)
+        plus this session's knobs. A prepared plan is reused only while
+        this whole tuple is unchanged."""
+        return self._engine.plan_epoch() + (
+            self.enable_cache, self.enable_posmap, self.batch_size,
+            self.parallelism, self.backend, self.vector_filters,
+            self.enable_indexes, self.adaptive_stats,
+            tuple(sorted(self.cleaning)), tuple(sorted(self.devices)),
+        )
+
+    def _resolve_engine(self, plan, decisions: PlanDecisions) -> str:
+        """Pick jit vs static for one query (``default_engine="auto"``).
+
+        JIT always wins once its compiled function is cached (the compile
+        cost is sunk); otherwise the planner's cost estimate must clear
+        the compile-cost threshold, else the static interpreter runs the
+        tiny query with zero codegen latency.
+        """
+        from .optimizer import cost as C
+
+        if self._jit.is_cached(plan, vector_filters=self.vector_filters):
+            decisions.engine_choice = "jit (compiled plan cached)"
+            return "jit"
+        if decisions.total_est_cost >= C.COMPILE_COST:
+            decisions.engine_choice = (
+                f"jit (est ~{decisions.total_est_cost:.0f}u >= "
+                f"compile threshold {C.COMPILE_COST:.0f}u)"
+            )
+            return "jit"
+        decisions.engine_choice = (
+            f"static (est ~{decisions.total_est_cost:.0f}u < "
+            f"compile threshold {C.COMPILE_COST:.0f}u)"
+        )
+        return "static"
 
     def _worker_pool(self):
         """The context's worker-process pool (process backend only); spawned

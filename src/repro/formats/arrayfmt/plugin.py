@@ -265,6 +265,7 @@ class ArraySource:
         device=None,
         whole: bool = False,
         split=None,
+        stats_sink=None,
     ):
         """Batched scan yielding :class:`~repro.core.chunk.Chunk` objects.
 
@@ -272,6 +273,10 @@ class ArraySource:
         additionally materialises full record dicts on ``chunk.whole``.
         ``split`` restricts the scan to one element-range morsel from
         :meth:`scan_splits`.
+
+        ``stats_sink`` (a :class:`~repro.stats.StatsPartial`) requests
+        table-statistics byproduct emission over its named components,
+        advanced once per batch.
         """
         from ...core.chunk import Chunk
 
@@ -291,8 +296,18 @@ class ArraySource:
                     f"{self.path}: array source has no component {f!r}"
                 )
         picks = [names.index(f) for f in field_list]
+        spicks = []
+        if stats_sink is not None:
+            spicks = [(f, names.index(f)) for f in stats_sink.fields
+                      if f in names]
         for batch in self.scan_batches(batch_size, device=device,
                                        element_range=element_range):
+            if stats_sink is not None:
+                stats_sink.advance(0, len(batch))
+                if spicks:
+                    stats_sink.record(0, {
+                        f: [t[i] for t in batch] for f, i in spicks
+                    })
             if not picks and not whole:
                 yield Chunk((), (), len(batch))
                 continue

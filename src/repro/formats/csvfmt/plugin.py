@@ -436,6 +436,7 @@ class CSVSource:
         pred_fields: Sequence[str] | None = None,
         pred_kernel=None,
         index_sink=None,
+        stats_sink=None,
     ):
         """Batched scan: yield :class:`~repro.core.chunk.Chunk` objects.
 
@@ -467,6 +468,12 @@ class CSVSource:
         coverage for free. Batches a cleaning policy touched are skipped
         (repairs desynchronise values from physical rows), but the sink's
         row cursor still advances so morsel partials merge exactly.
+
+        ``stats_sink`` (a :class:`~repro.stats.StatsPartial`) requests
+        table-statistics byproduct emission under the same coverage rules
+        as ``index_sink``: dense per-batch values for each of its fields,
+        plus an ``advance`` per batch so the partial's row count is exact
+        even when a batch records nothing.
         """
         from ...core.chunk import Chunk
 
@@ -531,6 +538,13 @@ class CSVSource:
                     sink_cols[f] = c
             if not sink_cols:
                 sink = None
+        ssink = stats_sink
+        ssink_cols: dict[str, int] = {}
+        if ssink is not None:
+            for f in ssink.fields:
+                c = self.col_index.get(f)
+                if c is not None:
+                    ssink_cols[f] = c
         for start, lines in self.iter_line_batches(batch_size, device=device,
                                                    record_anchors=record_anchors,
                                                    byte_range=byte_range,
@@ -540,6 +554,8 @@ class CSVSource:
                 # the row cursor advances whether or not this batch records,
                 # so byte-morsel partials always know their exact row count
                 sink.advance(start, len(lines))
+            if ssink is not None:
+                ssink.advance(start, len(lines))
             if push:
                 # late materialization: navigate predicate columns, run the
                 # selection kernel, then fetch the rest only for survivors
@@ -549,6 +565,12 @@ class CSVSource:
                         f: (pcols[pred_pos[c]] if c in pred_pos
                             else self._navigate_batch([c], lines, start)[0])
                         for f, c in sink_cols.items()
+                    })
+                if ssink_cols:
+                    ssink.record(start, {
+                        f: (pcols[pred_pos[c]] if c in pred_pos
+                            else self._navigate_batch([c], lines, start)[0])
+                        for f, c in ssink_cols.items()
                     })
                 sel = pred_kernel(*pcols)
                 if not sel:
@@ -576,6 +598,12 @@ class CSVSource:
                             else self._navigate_batch([c], lines, start)[0])
                         for f, c in sink_cols.items()
                     })
+                if ssink_cols:
+                    ssink.record(start, {
+                        f: (converted[cols.index(c)] if c in cols
+                            else self._navigate_batch([c], lines, start)[0])
+                        for f, c in ssink_cols.items()
+                    })
                 yield Chunk.from_columns(field_list, converted)
                 continue
             cells_rows = [line.split(delim) for line in lines]
@@ -587,6 +615,11 @@ class CSVSource:
                         for f, c in sink_cols.items() if c in conv_cols}
                 if vals:
                     sink.record(start, vals)
+            if ssink_cols and selection is None and clean is None:
+                svals = {f: columns[conv_cols.index(c)]
+                         for f, c in ssink_cols.items() if c in conv_cols}
+                if svals:
+                    ssink.record(start, svals)
             if whole:
                 names = self.columns
                 whole_rows = [dict(zip(names, vals)) for vals in zip(*columns)] \

@@ -243,6 +243,7 @@ class JSONSource:
         whole: bool = False,
         split=None,
         index_sink=None,
+        stats_sink=None,
     ):
         """Batched scan yielding :class:`~repro.core.chunk.Chunk` objects.
 
@@ -253,6 +254,11 @@ class JSONSource:
         ``index_sink`` (an :class:`~repro.indexing.IndexPartial`) requests
         value-index byproduct emission over its dotted paths; rows are
         global semi-index span numbers, so partials merge without shifting.
+
+        ``stats_sink`` (a :class:`~repro.stats.StatsPartial`) requests
+        table-statistics byproduct emission over its dotted paths, with an
+        explicit ``advance`` per batch so row counts stay exact even for
+        sinks that record no columns.
         """
         from ...core.chunk import Chunk
 
@@ -275,6 +281,13 @@ class JSONSource:
                     index_sink.fields,
                     self.project_paths(objs, index_sink.fields),
                 )))
+            if stats_sink is not None:
+                stats_sink.advance(row, len(objs))
+                if stats_sink.fields:
+                    stats_sink.record(row, dict(zip(
+                        stats_sink.fields,
+                        self.project_paths(objs, stats_sink.fields),
+                    )))
             row += len(objs)
             yield Chunk.from_columns(paths, columns,
                                      whole=objs if whole or not paths else None)

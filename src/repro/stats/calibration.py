@@ -1,0 +1,130 @@
+"""Measured-runtime feedback for the cost model.
+
+The optimizer's constants (``COST_FACTORS``, ``CHUNK_DISPATCH_COST``…)
+were hand-calibrated on one machine; on real hardware they are wrong in
+two separable ways: a *global* scale (this box is simply faster/slower
+per abstract cost unit) and *relative* miscalibration between formats and
+access paths (JSON parsing costs more here, warm CSV less). The
+:class:`CostCalibration` learns both from per-scan wall-clock timings the
+runtime records anyway:
+
+- ``unit_ms`` — measured milliseconds per abstract cost unit — absorbs
+  the global scale and converts estimated cost units into estimated
+  milliseconds for EXPLAIN and engine selection;
+- per-``(format, access)`` factors start at the hand-calibrated values
+  and drift geometrically toward measured reality, clamped to ×8 either
+  way so one noisy timing can't wreck the model.
+
+Updates are exponential (geometric damping: ``unit_ms`` moves by the
+square root of the observed ratio, factors by its fourth root) so the
+model converges over a handful of queries and single outliers wash out.
+Owned by the :class:`~repro.core.engine.EngineContext` — calibration one
+tenant pays for serves every tenant, like every other JIT byproduct.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: ms per cost unit assumed before the first measurement lands
+DEFAULT_UNIT_MS = 2.5e-4
+
+#: ignore timings over fewer rows than this — fixed overheads dominate
+#: and the per-row signal is pure noise
+MIN_ROWS = 32
+
+#: single-observation update clamp: a timing may pull the model at most
+#: this factor per observation (before damping)
+_RATIO_CLAMP = 4.0
+
+#: per-(fmt, access) factors may drift at most this far from their
+#: hand-calibrated baseline, in either direction
+_FACTOR_DRIFT = 8.0
+
+
+@dataclass(frozen=True)
+class ScanTiming:
+    """One scan's measured work, recorded by the runtime's timing hook."""
+
+    source: str
+    format: str
+    access: str
+    rows: int
+    nfields: int
+    chunks: int
+    seconds: float
+
+
+class CostCalibration:
+    """Self-tuning copies of the cost-model constants (thread-safe)."""
+
+    def __init__(self):
+        from ..core.optimizer import cost as C  # lazy: avoid import cycle
+
+        self._lock = threading.Lock()
+        self._base_factors = dict(C.COST_FACTORS)
+        self.factors: dict[tuple[str, str], float] = dict(C.COST_FACTORS)
+        self.chunk_dispatch_cost: float = float(C.CHUNK_DISPATCH_COST)
+        self._const_cost = float(C.CONST_COST)
+        #: measured ms per abstract cost unit; None until first observation
+        self.unit_ms: float | None = None
+        #: bumped on every constant move; feeds the session plan-epoch
+        self.version = 0
+
+    # -- reading -------------------------------------------------------------
+
+    def factor(self, fmt: str, access: str) -> float | None:
+        """Calibrated per-row factor for ``(fmt, access)``, or None if the
+        pair is unknown to the model (the caller should surface that)."""
+        return self.factors.get((fmt, access))
+
+    def estimated_ms(self, units: float) -> float:
+        """Convert abstract cost units into estimated wall-clock ms."""
+        return units * (self.unit_ms if self.unit_ms is not None
+                        else DEFAULT_UNIT_MS)
+
+    # -- learning ------------------------------------------------------------
+
+    def _predicted_units(self, t: ScanTiming, factor: float) -> float:
+        return (t.rows * max(1, t.nfields) * factor * self._const_cost
+                + t.chunks * self.chunk_dispatch_cost)
+
+    def observe(self, timings) -> int:
+        """Fold measured scan timings into the model; returns moves made."""
+        moves = 0
+        with self._lock:
+            for t in timings:
+                if t.rows < MIN_ROWS or t.seconds <= 0.0:
+                    continue
+                key = (t.format, t.access)
+                factor = self.factors.get(key)
+                if factor is None:
+                    continue  # unknown pair: planner already noted it
+                predicted = self._predicted_units(t, factor)
+                if predicted <= 0.0:
+                    continue
+                measured_ms = t.seconds * 1000.0
+                unit = self.unit_ms if self.unit_ms is not None else DEFAULT_UNIT_MS
+                ratio = measured_ms / (predicted * unit)
+                g = min(_RATIO_CLAMP, max(1.0 / _RATIO_CLAMP, ratio))
+                # global scale moves by sqrt(g); relative factor by g**1/4
+                self.unit_ms = unit * (g ** 0.5)
+                base = self._base_factors.get(key, factor)
+                moved = factor * (g ** 0.25)
+                self.factors[key] = min(base * _FACTOR_DRIFT,
+                                        max(base / _FACTOR_DRIFT, moved))
+                self.version += 1
+                moves += 1
+        return moves
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "unit_ms": self.unit_ms,
+                "chunk_dispatch_cost": self.chunk_dispatch_cost,
+                # JSON-able keys: the server ships this over the wire
+                "factors": {f"{fmt}/{access}": v
+                            for (fmt, access), v in sorted(self.factors.items())},
+                "version": self.version,
+            }

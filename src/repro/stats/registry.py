@@ -1,0 +1,132 @@
+"""Shared, generation-aware registry of per-source table statistics.
+
+Owned by the :class:`~repro.core.engine.EngineContext` so every tenant
+session shares one statistics store, exactly like the posmap/index/cache
+registries: stats one tenant collected as a scan byproduct improve every
+other tenant's plans.
+
+Concurrency follows the PR-8 adopt-or-discard protocol. Callers adopt
+under ``catalog.source_lock(source)`` after re-checking the generation
+token; the registry additionally keys its entries by generation and
+evicts on mismatch, so a stale peek can never surface statistics for a
+file that changed underneath.
+
+Adoption is **adopt-or-skip** per column: a column already present is
+left untouched (the first complete observation wins), and ``row_count``
+is only set while unknown. That makes repeated/concurrent scans converge
+instead of double-counting, and keeps adopted stats bit-identical across
+racing sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .table_stats import StatsPartial, TableStats
+
+
+class StatsRegistry:
+    """source name → (generation, :class:`TableStats`), adopt-or-skip."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._sources: dict[str, tuple[int, TableStats]] = {}
+        #: bumped on every adoption/invalidation that changed visible state;
+        #: feeds the session plan-epoch so prepared plans replan on shift
+        self.version = 0
+
+    def peek(self, source: str, generation: int) -> TableStats | None:
+        """Current stats for ``source`` at ``generation``, else None.
+
+        A stored entry from another generation is evicted on sight — the
+        backing file changed, so the old numbers describe dead data.
+        """
+        with self._lock:
+            entry = self._sources.get(source)
+            if entry is None:
+                return None
+            gen, stats = entry
+            if gen != generation:
+                del self._sources[source]
+                self.version += 1
+                return None
+            return stats
+
+    def adopt(
+        self,
+        source: str,
+        generation: int,
+        partial: StatsPartial,
+        complete: bool,
+    ) -> bool:
+        """Merge one scan's accumulated partial; returns True if adopted.
+
+        ``complete`` means the partial covers every row of the source
+        (serial scan ran to exhaustion, or all parallel splits reported):
+        only then may it establish ``row_count``. Columns already known
+        are skipped (adopt-or-skip), so the call is idempotent.
+        """
+        with self._lock:
+            entry = self._sources.get(source)
+            if entry is not None and entry[0] != generation:
+                del self._sources[source]
+                self.version += 1
+                entry = None
+            if entry is None:
+                stats = TableStats()
+                self._sources[source] = (generation, stats)
+            else:
+                stats = entry[1]
+            changed = False
+            if complete and stats.row_count is None:
+                stats.row_count = partial.rows_seen
+                changed = True
+            for name, cs in partial.columns.items():
+                if name not in stats.columns and (cs.count or cs.nulls):
+                    stats.columns[name] = cs
+                    changed = True
+            if changed:
+                self.version += 1
+            return changed
+
+    def known(self, source: str, generation: int) -> tuple[bool, frozenset]:
+        """(row count known?, column names known) — lets scans skip
+        re-collecting what the registry already holds."""
+        stats = self.peek(source, generation)
+        if stats is None:
+            return (False, frozenset())
+        return (stats.row_count is not None, frozenset(stats.columns))
+
+    def invalidate_source(self, source: str) -> None:
+        with self._lock:
+            if self._sources.pop(source, None) is not None:
+                self.version += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._sources:
+                self._sources.clear()
+                self.version += 1
+
+    def snapshot(self) -> dict:
+        """Canonical picture for tests/EXPLAIN: source → stats snapshot."""
+        with self._lock:
+            return {
+                name: stats.snapshot()
+                for name, (_, stats) in sorted(self._sources.items())
+            }
+
+    def summary(self) -> dict:
+        """Compact JSON-able view (server /stats): no raw sketch hashes."""
+        with self._lock:
+            return {
+                name: {
+                    "row_count": stats.row_count,
+                    "columns": {
+                        cname: {"ndv": cs.ndv,
+                                "null_fraction": round(cs.null_fraction, 4)}
+                        for cname, cs in sorted(stats.columns.items())
+                    },
+                }
+                for name, (_, stats) in sorted(self._sources.items())
+            }

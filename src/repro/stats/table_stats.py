@@ -1,0 +1,249 @@
+"""JIT table statistics: per-column summaries built as scan byproducts.
+
+ViDa's creed is that auxiliary structures arrive just-in-time, as side
+effects of queries the user was going to run anyway (paper §2.1: positional
+maps; PR 7: value indexes). Statistics are no different: format plugins are
+handed a :class:`StatsPartial` ``stats_sink`` alongside the existing
+``index_sink`` and record the values they already materialised. Partials
+merge in the parent under the generation-token adopt-or-discard protocol.
+
+Everything here is **order-independent** so morsel-parallel collection is
+bit-identical to serial collection at any DoP on either backend:
+
+- counts and null counts are sums;
+- min/max are kept per *type domain* (numeric vs string) so mixed-type
+  columns never hit a ``TypeError`` and the result is order-free;
+- NDV uses a KMV (K-minimum-values) sketch over a **deterministic** 64-bit
+  hash (blake2b — Python's salted ``hash()`` would differ across worker
+  processes).  The sketch prunes to the K smallest hashes after *every*
+  update, so its stored set is exactly "the K smallest hashes ever
+  inserted" — a set-union-like quantity independent of insertion order
+  and of how rows were partitioned into morsels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: KMV sketch size: distinct-count estimates are exact below K and within
+#: ~1/sqrt(K-2) (~6%) relative error above it — plenty for join ordering.
+SKETCH_K = 256
+
+_TWO64 = float(2**64)
+
+#: integral floats up to 2**53 are exact, so 1, 1.0 and True (which compare
+#: equal and collapse in Python sets/dicts depending on insertion order)
+#: must hash identically for the sketch to be order-independent
+_MAX_EXACT_INT_FLOAT = 2**53
+
+
+def _canonical_bytes(value) -> bytes:
+    """Deterministic byte encoding with cross-type equality classes.
+
+    Values that compare equal in Python (``1 == 1.0 == True``) encode
+    identically; everything else gets a type-tagged representation.
+    """
+    if isinstance(value, bool):
+        return b"i" + repr(int(value)).encode()
+    if isinstance(value, int):
+        return b"i" + repr(value).encode()
+    if isinstance(value, float):
+        if value.is_integer() and abs(value) < _MAX_EXACT_INT_FLOAT:
+            return b"i" + repr(int(value)).encode()
+        return b"f" + repr(value).encode()
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8", "surrogatepass")
+    return b"o" + repr(value).encode("utf-8", "backslashreplace")
+
+
+def _hash64(value) -> int:
+    """Deterministic 64-bit hash, stable across processes and runs."""
+    digest = hashlib.blake2b(_canonical_bytes(value), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ColumnSketch:
+    """KMV distinct-value sketch: the K smallest 64-bit hashes seen.
+
+    Invariant (load-bearing for bit-identity): after every ``add`` and
+    ``merge`` the stored set is *the* K smallest distinct hashes over all
+    values ever inserted, which makes the sketch a join-semilattice —
+    merge order and partitioning cannot change it.
+    """
+
+    __slots__ = ("k", "_hashes")
+
+    def __init__(self, k: int = SKETCH_K, hashes: set[int] | None = None):
+        self.k = k
+        self._hashes: set[int] = set(hashes) if hashes else set()
+
+    def add(self, value) -> None:
+        self.add_hash(_hash64(value))
+
+    def add_hash(self, h: int) -> None:
+        hs = self._hashes
+        if len(hs) < self.k:
+            hs.add(h)
+            return
+        if h in hs:
+            return
+        top = max(hs)
+        if h < top:
+            hs.discard(top)
+            hs.add(h)
+
+    def merge(self, other: "ColumnSketch") -> None:
+        hs = self._hashes
+        hs |= other._hashes
+        k = self.k
+        while len(hs) > k:
+            hs.discard(max(hs))
+
+    def estimate(self) -> int:
+        """Estimated number of distinct values (exact below K)."""
+        n = len(self._hashes)
+        if n == 0:
+            return 0
+        if n < self.k:
+            return n
+        # classic KMV estimator: (K-1) / normalized K-th minimum
+        return max(n, int((self.k - 1) * _TWO64 / max(self._hashes)))
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Canonical (sorted) content — equal sketches snapshot equal."""
+        return tuple(sorted(self._hashes))
+
+    def __getstate__(self):
+        return (self.k, self.snapshot())
+
+    def __setstate__(self, state):
+        self.k, hashes = state
+        self._hashes = set(hashes)
+
+
+@dataclass
+class ColumnStats:
+    """Order-independent summary of one column's observed values."""
+
+    count: int = 0  # non-null values recorded
+    nulls: int = 0
+    num_min: float | None = None
+    num_max: float | None = None
+    str_min: str | None = None
+    str_max: str | None = None
+    sketch: ColumnSketch = field(default_factory=ColumnSketch)
+
+    def observe_batch(self, values) -> None:
+        for v in values:
+            if v is None:
+                self.nulls += 1
+                continue
+            self.count += 1
+            if isinstance(v, bool):
+                v = int(v)
+            if isinstance(v, (int, float)):
+                f = float(v)
+                if self.num_min is None or f < self.num_min:
+                    self.num_min = f
+                if self.num_max is None or f > self.num_max:
+                    self.num_max = f
+            elif isinstance(v, str):
+                if self.str_min is None or v < self.str_min:
+                    self.str_min = v
+                if self.str_max is None or v > self.str_max:
+                    self.str_max = v
+            self.sketch.add(v)
+
+    def merge(self, other: "ColumnStats") -> None:
+        self.count += other.count
+        self.nulls += other.nulls
+        for attr, pick in (("num_min", min), ("num_max", max),
+                           ("str_min", min), ("str_max", max)):
+            mine, theirs = getattr(self, attr), getattr(other, attr)
+            if theirs is not None:
+                setattr(self, attr, theirs if mine is None else pick(mine, theirs))
+        self.sketch.merge(other.sketch)
+
+    @property
+    def ndv(self) -> int:
+        return self.sketch.estimate()
+
+    @property
+    def null_fraction(self) -> float:
+        total = self.count + self.nulls
+        return (self.nulls / total) if total else 0.0
+
+    def snapshot(self) -> tuple:
+        """Canonical content tuple for bit-identity assertions."""
+        return (self.count, self.nulls, self.num_min, self.num_max,
+                self.str_min, self.str_max, self.sketch.snapshot())
+
+
+@dataclass
+class TableStats:
+    """Per-source statistics: row count plus per-column summaries.
+
+    ``row_count`` is only ever set from a *complete* scan (serial scans
+    that ran to exhaustion, or parallel scans where every split reported);
+    column entries may cover a subset of columns, accreting as later
+    queries touch more of them.
+    """
+
+    row_count: int | None = None
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+    def snapshot(self) -> tuple:
+        return (self.row_count, tuple(sorted(
+            (name, cs.snapshot()) for name, cs in self.columns.items()
+        )))
+
+
+class StatsPartial:
+    """Per-scan (or per-morsel) statistics accumulator handed to plugins.
+
+    Mirrors the ``IndexPartial`` sink protocol (``record``/``advance``)
+    but with **count semantics**: ``advance`` adds row counts (each batch
+    is advanced exactly once), and ``record`` never advances — so a split
+    partial's ``rows_seen`` is the number of rows *it* scanned, and the
+    parent can sum splits to a total row count. Picklable, so process
+    morsel workers ship partials home like posmap deltas.
+    """
+
+    __slots__ = ("fields", "rows_seen", "columns")
+
+    def __init__(self, fields=()):
+        self.fields = tuple(fields)
+        self.rows_seen = 0
+        self.columns: dict[str, ColumnStats] = {
+            f: ColumnStats() for f in self.fields
+        }
+
+    def advance(self, start: int, nrows: int) -> None:
+        """One batch of ``nrows`` rows was scanned (values recorded or not)."""
+        self.rows_seen += nrows
+
+    def record(self, start: int, columns: dict[str, list]) -> None:
+        """Record materialised values for this batch. Does NOT advance."""
+        for name, values in columns.items():
+            cs = self.columns.get(name)
+            if cs is not None:
+                cs.observe_batch(values)
+
+    def merge(self, other: "StatsPartial") -> None:
+        self.rows_seen += other.rows_seen
+        for name, cs in other.columns.items():
+            mine = self.columns.get(name)
+            if mine is None:
+                self.columns[name] = cs
+            else:
+                mine.merge(cs)
+
+    def __getstate__(self):
+        return (self.fields, self.rows_seen, self.columns)
+
+    def __setstate__(self, state):
+        self.fields, self.rows_seen, self.columns = state
