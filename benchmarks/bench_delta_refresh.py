@@ -1,0 +1,109 @@
+"""O(delta) refresh — an appended tail costs the tail, not the file.
+
+A 100k-row CSV grows by 1% tails. A long-lived session classifies each
+mutation as an append and *extends* its positional map, cached columns,
+and stats over the new tail (re-scanning only the appended bytes); the
+baseline is what everyone pays without the delta path — a cold rebuild
+(fresh session, full scan) over the same grown file.
+
+Gates: answers bit-identical every round, the delta path >= 5x faster than
+the rebuild, and the engine's raw-byte accounting shows the refreshes
+re-read exactly the appended tail bytes (no silent full re-scans).
+"""
+
+import time
+
+import pytest
+
+from repro.bench import emit, table
+from repro.core.session import ViDa
+
+ROWS = 100_000
+TAIL_ROWS = ROWS // 100  # 1% growth per round
+ROUNDS = 5
+REQUIRED_SPEEDUP = 5.0
+
+QUERY = "for { e <- Events, e.val > 900 } yield bag (id := e.id, v := e.val)"
+
+
+def _write(path, n):
+    with open(path, "w") as fh:
+        fh.write("id,val\n")
+        for i in range(n):
+            fh.write(f"{i},{i * 7919 % 1000}\n")
+
+
+def _append_tail(path, start, count):
+    data = "".join(f"{i},{i * 7919 % 1000}\n"
+                   for i in range(start, start + count))
+    with open(path, "a") as fh:
+        fh.write(data)
+    return len(data.encode())
+
+
+def _timed(db, query):
+    t0 = time.perf_counter()
+    result = db.query(query)
+    return time.perf_counter() - t0, result
+
+
+def test_delta_refresh_beats_cold_rebuild(benchmark, tmp_path):
+    path = str(tmp_path / "events.csv")
+    _write(path, ROWS)
+
+    def run():
+        db = ViDa()
+        db.register_csv("Events", path)
+        db.query(QUERY)  # pay the cold scan once; auxiliaries are live
+
+        rows = ROWS
+        t_delta = t_rebuild = 0.0
+        appended_bytes = 0
+        per_round = []
+        for rnd in range(ROUNDS):
+            appended_bytes += _append_tail(path, rows, TAIL_ROWS)
+            rows += TAIL_ROWS
+            # delta path: first query after the append on the warm session
+            dt, warm = _timed(db, QUERY)
+            # rebuild baseline: a fresh session's cold scan of the same file
+            cold_db = ViDa()
+            cold_db.register_csv("Events", path)
+            rt, cold = _timed(cold_db, QUERY)
+            cold_db.close()
+            assert warm.value == cold.value  # bit-identical every round
+            t_delta += dt
+            t_rebuild += rt
+            per_round.append((rnd + 1, dt, rt))
+        snapshot = db.engine_context.stats_snapshot()
+        db.close()
+        return t_delta, t_rebuild, appended_bytes, snapshot, per_round
+
+    t_delta, t_rebuild, appended_bytes, snapshot, per_round = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # every round was classified append and re-read only the tail bytes
+    assert snapshot["delta_refreshes"] == ROUNDS
+    assert snapshot["full_invalidations"] == 0
+    assert snapshot["delta_tail_bytes"] == appended_bytes
+
+    speedup = t_rebuild / t_delta
+    lines = table(
+        ["round", "delta refresh (ms)", "cold rebuild (ms)", "speedup"],
+        [[rnd, f"{dt * 1e3:.1f}", f"{rt * 1e3:.1f}", f"{rt / dt:.1f}x"]
+         for rnd, dt, rt in per_round],
+    )
+    lines.append("")
+    lines.append(f"totals: delta {t_delta * 1e3:.1f} ms vs rebuild "
+                 f"{t_rebuild * 1e3:.1f} ms ({speedup:.1f}x); tail bytes "
+                 f"re-read {snapshot['delta_tail_bytes']} == appended "
+                 f"{appended_bytes}")
+    lines.append("the refresh price is the appended 1% tail, not the file — "
+                 "posmap, cached columns and stats extend in place and the "
+                 "superseded generation stays retained for AS OF.")
+    emit(f"O(delta) refresh vs cold rebuild ({ROWS} rows + "
+         f"{ROUNDS}x{TAIL_ROWS}-row tails)", lines)
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"delta refresh ran only {speedup:.2f}x faster than a cold rebuild; "
+        f"expected >= {REQUIRED_SPEEDUP}x"
+    )

@@ -22,6 +22,7 @@ from .errors import (
     CodegenError,
     DataFormatError,
     ExecutionError,
+    GenerationError,
     ParseError,
     PlanningError,
     StorageError,
@@ -34,8 +35,8 @@ __version__ = "0.1.0"
 
 __all__ = [
     "CatalogError", "CleaningError", "CodegenError", "DataFormatError",
-    "EngineContext", "EngineStats", "ExecutionError", "ParseError",
-    "PlanningError", "QueryResult", "QueryStats", "QuotaCacheView",
-    "StorageError", "TypeCheckError", "ViDa", "ViDaError",
+    "EngineContext", "EngineStats", "ExecutionError", "GenerationError",
+    "ParseError", "PlanningError", "QueryResult", "QueryStats",
+    "QuotaCacheView", "StorageError", "TypeCheckError", "ViDa", "ViDaError",
     "WarehouseError", "__version__",
 ]

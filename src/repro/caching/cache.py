@@ -227,6 +227,82 @@ class DataCache:
             del self._entries[victim_key]
             self.stats.evictions += 1
 
+    # -- delta refresh ---------------------------------------------------------
+
+    def extend_source(
+        self,
+        source: str,
+        base_count: int,
+        tail_rows: int,
+        tail_columns: dict[str, list],
+        tail_objects: list | None = None,
+    ) -> int:
+        """Grow ``source``'s aligned entries by an appended tail in place of
+        invalidating them (append-classified refresh).
+
+        Columnar entries whose row count equals ``base_count`` and whose
+        fields all have tail values are extended by ``tail_rows``; object
+        layouts (objects / json_text) are extended with ``tail_objects``
+        when provided. Entries with a different row universe (cleaning
+        skipped rows) or no tail data are dropped — serving them for the
+        new generation would silently miss the appended rows. Extended
+        entries are **new** :class:`CachedData` objects: the superseded
+        ones may be pinned by generation snapshots or mid-iteration as
+        zero-copy chunk views, and are never mutated. Returns the number
+        of entries extended.
+        """
+        import sys
+
+        from .layouts import _deep_bytes
+
+        extended = 0
+        with self._mutex:
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if entry.source != source:
+                    continue
+                old = entry.cached
+                grown: CachedData | None = None
+                if old.layout == "columns" and old.count == base_count \
+                        and all(f in tail_columns for f in old.fields):
+                    cols = {f: old.data[f] + tail_columns[f]
+                            for f in old.fields}
+                    tail_bytes = sum(
+                        _deep_bytes(v) for f in old.fields
+                        for v in tail_columns[f]
+                    ) + sum(sys.getsizeof(c) - sys.getsizeof(old.data[f])
+                            for f, c in cols.items())
+                    grown = CachedData("columns", old.fields, cols,
+                                       old.nbytes + max(0, tail_bytes),
+                                       base_count + tail_rows)
+                elif old.layout in ("objects", "json_text") \
+                        and old.count == base_count and tail_objects is not None:
+                    if old.layout == "objects":
+                        tail = list(tail_objects)
+                        tail_bytes = sum(_deep_bytes(o) for o in tail)
+                    else:
+                        import json as _json
+
+                        tail = [_json.dumps(o) for o in tail_objects]
+                        tail_bytes = sum(len(t) for t in tail)
+                    grown = CachedData(old.layout, old.fields,
+                                       old.data + tail,
+                                       old.nbytes + tail_bytes,
+                                       base_count + tail_rows)
+                if grown is None:
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                    continue
+                replacement = CacheEntry(source, grown,
+                                         last_used=entry.last_used,
+                                         uses=entry.uses)
+                del self._entries[key]
+                self._entries[replacement.key] = replacement
+                extended += 1
+            if extended:
+                self._evict_to_budget()
+        return extended
+
     # -- invalidation ---------------------------------------------------------------
 
     def invalidate_source(self, source: str) -> int:

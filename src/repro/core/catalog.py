@@ -27,11 +27,18 @@ from ..formats import (
 )
 from ..mcc import types as T
 from ..storage.io import FileFingerprint
+from .generations import GenerationHistory
 
 
 #: process-wide generation sequence — re-registering a name never reuses a
 #: generation, so stale registry entries can never match a fresh source
 _GENERATIONS = itertools.count()
+
+
+def next_generation() -> int:
+    """Allocate a fresh generation token (refresh paths outside the
+    catalog — :meth:`EngineContext.refresh_source` — share the sequence)."""
+    return next(_GENERATIONS)
 
 
 @dataclass
@@ -46,6 +53,9 @@ class CatalogEntry:
     #: file-generation token shared by cache/posmap/index invalidation:
     #: bumps whenever the backing file's fingerprint changes
     generation: int = field(default_factory=lambda: next(_GENERATIONS))
+    #: bounded history of superseded generations (time travel / AS OF);
+    #: populated by ``EngineContext.refresh_source`` on fingerprint change
+    history: GenerationHistory = field(default_factory=GenerationHistory)
 
     @property
     def name(self) -> str:
@@ -240,6 +250,12 @@ class Catalog:
         return {name: e.description.schema for name, e in self._entries.items()}
 
     # -- update detection ---------------------------------------------------------
+
+    def bump_version(self) -> None:
+        """Register a visible state change (generation bump by a refresh
+        path outside the catalog) so plan epochs move."""
+        with self._lock:
+            self.version += 1
 
     def check_freshness(self, name: str) -> bool:
         """True if the backing file is unchanged; False after dropping stale

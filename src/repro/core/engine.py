@@ -35,9 +35,15 @@ from ..caching import AdmissionPolicy, DataCache
 from ..errors import ViDaError
 from ..indexing import IndexRegistry
 from ..stats import CostCalibration, StatsRegistry
-from .catalog import Catalog
+from ..storage.io import FileFingerprint
+from .catalog import Catalog, next_generation
 from .executor.engine import JITExecutor
 from .executor.static_engine import StaticExecutor
+from .generations import (
+    DEFAULT_RETAIN_GENERATIONS,
+    GenerationSnapshot,
+    PinnedState,
+)
 
 
 @dataclass
@@ -61,6 +67,12 @@ class EngineStats:
     stats_adoptions: int = 0
     #: table-statistics partials dropped at the generation-token gate
     stats_discards: int = 0
+    #: append-classified refreshes served by an O(delta) tail rescan
+    delta_refreshes: int = 0
+    #: raw bytes re-read by delta refreshes (the tail regions only)
+    delta_tail_bytes: int = 0
+    #: refreshes that fell back to dropping every auxiliary structure
+    full_invalidations: int = 0
     sessions_opened: int = 0
     sessions_closed: int = 0
 
@@ -123,7 +135,11 @@ class EngineContext:
         self,
         cache_budget_bytes: int = 256 << 20,
         admission_policy: AdmissionPolicy | None = None,
+        retain_generations: int = DEFAULT_RETAIN_GENERATIONS,
     ):
+        if retain_generations < 1:
+            raise ViDaError("retain_generations must be at least 1")
+        self.retain_generations = retain_generations
         self.catalog = Catalog()
         self.cache = DataCache(cache_budget_bytes, admission_policy)
         self.indexes = IndexRegistry()
@@ -220,6 +236,9 @@ class EngineContext:
                 "stats_adoptions": self.stats.stats_adoptions,
                 "stats_discards": self.stats.stats_discards,
                 "stale_admissions_dropped": self.stats.stale_admissions_dropped,
+                "delta_refreshes": self.stats.delta_refreshes,
+                "delta_tail_bytes": self.stats.delta_tail_bytes,
+                "full_invalidations": self.stats.full_invalidations,
             }
         cs = self.cache.stats
         engine["cache"] = {
@@ -251,3 +270,151 @@ class EngineContext:
         return (self.catalog.version, self.table_stats.version,
                 self.calibration.version,
                 cs.admissions, cs.evictions, cs.invalidations) + aux
+
+    # -- generation-aware refresh --------------------------------------------
+
+    def refresh_source(self, name: str) -> bool:
+        """Freshness check generalised from "latest wins" to "latest
+        extends, history pins". Returns True if the backing file is
+        unchanged.
+
+        On a fingerprint change the superseded generation is snapshotted
+        into the entry's bounded history, then the mutation is classified:
+
+        - **append** (old content is a byte-prefix of the new file) with a
+          complete posmap / built semi-index → the tail past the last
+          mapped byte is re-scanned and posmap, semi-index, cache entries,
+          value indexes and table stats are *extended* into the new
+          generation in O(delta);
+        - **append without extendable structures** → auxiliaries drop, but
+          history snapshots stay live-prefix (their bytes survive);
+        - **anything else** → every live snapshot is frozen onto a shared
+          :class:`PinnedState` rescuing current cache entries/stats, and
+          all auxiliary structures drop (paper §2.1 behaviour).
+
+        Runs atomically under the catalog's per-source lock, exactly like
+        ``Catalog.check_freshness``: of N racing observers one refreshes.
+        """
+        entry = self.catalog.get(name)
+        path = entry.description.path
+        if entry.fingerprint is None or path is None:
+            return True
+        if entry.fingerprint.matches(path):
+            return True
+        with self.catalog.source_lock(name):
+            # re-check: another thread may have refreshed while we waited
+            if entry.fingerprint.matches(path):
+                return True
+            self._refresh_locked(entry, name, path)
+        return False
+
+    def _refresh_locked(self, entry, name: str, path: str) -> None:
+        old_fp = entry.fingerprint
+        old_gen = entry.generation
+        new_fp = FileFingerprint.of(path)
+        old_rows = self._live_row_count(entry)
+        entry.history.capacity = self.retain_generations
+        entry.history.add(GenerationSnapshot(
+            generation=old_gen, fingerprint=old_fp,
+            byte_size=old_fp.size, row_count=old_rows,
+        ))
+        new_gen = next_generation()
+        appended = (
+            entry.format in ("csv", "json")
+            and new_fp.size > old_fp.size
+            # a CSV whose last line lacked a newline may have had that line
+            # *extended* by the append — its old rows are not a row-prefix
+            and (entry.format == "json" or old_fp.ends_nl)
+            and old_fp.is_prefix_of(path)
+        )
+        if not (appended and self._try_extend(entry, name, old_fp, new_fp,
+                                              old_gen, new_gen, old_rows)):
+            if not appended:
+                # rewrite: the old bytes are gone — rescue references to
+                # current cache entries/stats for every live-prefix snapshot
+                # *before* unlinking them from the live registries
+                mine = [e.cached for e in self.cache.entries()
+                        if e.source == name]
+                total = old_rows
+                if total is None:
+                    counts = {c.count for c in mine}
+                    if len(counts) == 1:
+                        total = counts.pop()
+                entry.history.pin_all(PinnedState(
+                    cached=mine,
+                    stats=self.table_stats.peek(name, old_gen),
+                    total_rows=total,
+                ))
+            if hasattr(entry.plugin, "invalidate_auxiliary"):
+                entry.plugin.invalidate_auxiliary()
+            self.cache.invalidate_source(name)
+            self.indexes.invalidate_source(name)
+            self.table_stats.invalidate_source(name)
+            self.count(full_invalidations=1)
+        entry.fingerprint = new_fp
+        entry.generation = new_gen
+        self.catalog.bump_version()
+
+    def _try_extend(self, entry, name: str, old_fp, new_fp,
+                    old_gen: int, new_gen: int, old_rows: int | None) -> bool:
+        """Attempt the O(delta) tail extension; False → caller invalidates.
+
+        A failure inside the plugin (dirty tail rows, I/O error) leaves
+        the live structures untouched — the plugin only swaps its extended
+        posmap/semi-index in after the tail scanned cleanly.
+        """
+        plugin = entry.plugin
+        if old_rows is None:
+            return False
+        try:
+            fields = self._tail_fields(name, entry, old_gen, old_rows)
+            if entry.format == "csv":
+                if not plugin.posmap.complete:
+                    return False
+                tail_columns, tail_rows, tail_bytes = plugin.extend_for_append(
+                    old_fp.size, new_fp.size, fields)
+                tail_objects = None
+            else:
+                if not plugin.has_semi_index():
+                    return False
+                tail_objects, _, tail_bytes = plugin.extend_for_append(
+                    old_fp.size, new_fp.size)
+                tail_rows = len(tail_objects)
+                tail_columns = dict(zip(
+                    fields, plugin.project_paths(tail_objects, fields)))
+        except (ViDaError, ValueError, IndexError, OSError):
+            return False
+        self.cache.extend_source(name, old_rows, tail_rows, tail_columns,
+                                 tail_objects)
+        self.indexes.extend_source(name, old_gen, new_gen, old_rows,
+                                   tail_columns)
+        self.table_stats.extend_source(name, old_gen, new_gen, tail_rows,
+                                       tail_columns)
+        self.count(delta_refreshes=1, delta_tail_bytes=tail_bytes)
+        return True
+
+    def _live_row_count(self, entry) -> int | None:
+        """Exact row/object count of the live generation, if any complete
+        structure knows it (the precondition for slicing/extending)."""
+        plugin = entry.plugin
+        if entry.format == "csv" and plugin.posmap.complete:
+            return len(plugin.posmap.row_offsets)
+        if entry.format == "json" and plugin.has_semi_index():
+            return len(plugin.semi_index)
+        return None
+
+    def _tail_fields(self, name: str, entry, old_gen: int,
+                     old_rows: int) -> list[str]:
+        """Fields whose auxiliary state must see the appended tail for a
+        delta refresh to be lossless: every fully-covering cached column,
+        every built index field, every known stats column."""
+        fields: set[str] = set()
+        for e in self.cache.entries():
+            if e.source == name and e.cached.layout == "columns" \
+                    and e.cached.count == old_rows:
+                fields.update(e.cached.fields)
+        fields.update(self.indexes.fields(name, old_gen))
+        fields.update(self.table_stats.known(name, old_gen)[1])
+        if entry.format == "csv":
+            fields &= set(entry.plugin.col_index)
+        return sorted(fields)

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from ...caching import DataCache
-from ...errors import ExecutionError
+from ...errors import ExecutionError, GenerationError
 from ...formats.descriptions import NULL_TOKENS
 from ...indexing import IndexPartial
 from ...mcc.monoids import get_monoid
@@ -97,9 +97,15 @@ class QueryRuntime:
         engine=None,
         table_stats=None,
         stats_hint: dict | None = None,
+        as_of: dict | None = None,
     ):
         self.catalog = catalog
         self.cache = cache
+        #: time travel: source → pinned :class:`GenerationSnapshot`. Scans of
+        #: a pinned source serve that generation's rows (live-prefix re-scan
+        #: or pinned cache slices) and emit no byproducts — nothing a pinned
+        #: query produces may leak into live shared state
+        self.as_of = as_of or {}
         #: owning :class:`~repro.core.engine.EngineContext` (None in worker
         #: children and standalone uses) — receives cross-tenant sharing
         #: counters from the adopt-or-discard merge points
@@ -179,9 +185,27 @@ class QueryRuntime:
 
     def _generation_current(self, source: str) -> bool:
         """True when the captured token still matches the catalog's (call
-        under the source lock for an atomic adopt-or-discard decision)."""
+        under the source lock for an atomic adopt-or-discard decision).
+
+        Beyond the token compare, the file's current stat is checked against
+        the catalog fingerprint: a mutation that happened *during* the scan
+        has not bumped the generation yet (no refresh ran), but the partials
+        were built over a mix of dead and live bytes — discard them."""
         gen = self._generations.get(source)
-        return gen is None or gen == self.catalog.get(source).generation
+        if gen is None:
+            return True
+        entry = self.catalog.get(source)
+        if gen != entry.generation:
+            return False
+        fp = getattr(entry, "fingerprint", None)
+        path = getattr(entry.plugin, "path", None)
+        if fp is not None and path is not None:
+            try:
+                if not fp.stat_matches(path):
+                    return False
+            except OSError:
+                return False
+        return True
 
     def _count_engine(self, **deltas: int) -> None:
         if self.engine is not None:
@@ -522,6 +546,156 @@ class QueryRuntime:
                 self._cache_scan_memo[key] = hit
         return hit
 
+    # -- time travel: pinned-generation serving -----------------------------
+
+    @staticmethod
+    def _check_pinned_split(source: str, split) -> None:
+        """Pinned scans are planned serial; reject real morsels defensively."""
+        if split is not None and split.kind != "all":
+            raise ExecutionError(
+                f"pinned scans of {source!r} are serial; got a "
+                f"{split.kind!r} morsel")
+
+    def _pinned_csv_chunks(self, source: str, fields: tuple, batch_size: int,
+                           whole: bool, split) -> "Iterator[Chunk]":
+        """Serve a CSV scan AS OF a pinned generation.
+
+        Live-prefix snapshots re-scan exactly the generation's byte range of
+        the current file (append-only history keeps old bytes in place), cold
+        and byproduct-free. Rewritten-away generations fall back to the cache
+        entries pinned at invalidation time, sliced to the snapshot's rows.
+        """
+        self._check_pinned_split(source, split)
+        snap = self.as_of[source]
+        if not snap.live:
+            yield from self._pinned_cached_chunks(source, snap, fields,
+                                                  batch_size, whole)
+            return
+        plugin = self.catalog.get(source).plugin
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += max(0, snap.byte_size - plugin._data_start)
+        cols = plugin.field_indexes(fields)
+        names = tuple(plugin.columns)
+        conv_cols = list(range(len(names))) if whole else cols
+        count = 0
+        for _start, lines in plugin.iter_line_batches(
+                batch_size, device=self.device_for(source),
+                byte_range=(plugin._data_start, snap.byte_size)):
+            cells_rows = [line.split(plugin.options.delimiter)
+                          for line in lines]
+            columns = plugin.convert_batch(conv_cols, cells_rows) \
+                if conv_cols else []
+            count += len(cells_rows)
+            if whole:
+                records = [dict(zip(names, vals)) for vals in zip(*columns)] \
+                    if columns else [{} for _ in cells_rows]
+                picked = tuple(columns[c] for c in cols)
+                yield Chunk(fields, picked, len(cells_rows), whole=records)
+            elif cols:
+                yield Chunk(fields, tuple(columns), len(cells_rows))
+            else:
+                yield Chunk((), (), len(cells_rows))
+        self.stats.raw_rows += count
+
+    def _pinned_json_chunks(self, source: str, paths: tuple, batch_size: int,
+                            whole: bool, split) -> "Iterator[Chunk]":
+        """Serve a JSON scan AS OF a pinned generation (live-prefix spans
+        re-parsed from the head of the current file, or pinned cache
+        slices for rewritten-away generations)."""
+        self._check_pinned_split(source, split)
+        snap = self.as_of[source]
+        if not snap.live:
+            yield from self._pinned_cached_chunks(source, snap, paths,
+                                                  batch_size, whole)
+            return
+        import json as _json
+
+        from ...storage import RawFile
+        plugin = self.catalog.get(source).plugin
+        self.stats.raw_sources.add(source)
+        self.stats.raw_bytes += snap.byte_size
+        with RawFile(plugin.path, device=self.device_for(source)) as raw:
+            data = raw.read_at(0, snap.byte_size)
+        if plugin.has_semi_index():
+            spans = [s for s in plugin.semi_index.spans
+                     if s.end <= snap.byte_size]
+        else:
+            from ...formats.jsonfmt.semi_index import JSONSemiIndex
+            spans = list(JSONSemiIndex.build(data).spans)
+        encoding = plugin.options.encoding
+        count = 0
+        for i in range(0, len(spans), batch_size):
+            group = spans[i:i + batch_size]
+            objs = [_json.loads(data[s.start:s.end].decode(encoding))
+                    for s in group]
+            columns = plugin.project_paths(objs, paths) if paths else []
+            count += len(objs)
+            yield Chunk(paths, tuple(columns), len(objs),
+                        whole=objs if whole else None)
+        self.stats.raw_rows += count
+
+    def _pinned_cached_chunks(self, source: str, snap, fields: tuple,
+                              batch_size: int, whole: bool
+                              ) -> "Iterator[Chunk]":
+        """Serve a rewritten-away generation from the cache entries pinned
+        when its file content was invalidated, sliced to the snapshot's row
+        count (every live snapshot at pin time was a row-prefix of the
+        pinned total). Raises :class:`GenerationError` when nothing pinned
+        covers the requested shape — the generation's rows are gone."""
+        import json as _json
+
+        pinned = snap.pinned
+        n = snap.row_count
+        if pinned is None or n is None or pinned.total_rows is None:
+            raise GenerationError(
+                f"generation {snap.generation} of {source!r} is no longer "
+                "materializable: the file was rewritten and no pinned data "
+                "covers it")
+        candidates = [c for c in pinned.cached
+                      if c.count == pinned.total_rows]
+        if not whole and fields:
+            for c in candidates:
+                if c.layout == "columns" and all(f in c.fields
+                                                 for f in fields):
+                    self.stats.cache_sources.add(source)
+                    self.stats.cache_rows += n
+                    for i in range(0, n, batch_size):
+                        yield Chunk(fields,
+                                    tuple(c.data[f][i:min(n, i + batch_size)]
+                                          for f in fields),
+                                    min(n, i + batch_size) - i)
+                    return
+        objs = None
+        for c in candidates:
+            if c.fields:
+                continue
+            if c.layout == "objects":
+                objs = c.data[:n]
+                break
+            if c.layout == "json_text":
+                objs = [_json.loads(t) for t in c.data[:n]]
+                break
+        if objs is not None:
+            from ...formats.jsonfmt.plugin import JSONSource
+            self.stats.cache_sources.add(source)
+            self.stats.cache_rows += n
+            for i in range(0, n, batch_size):
+                group = objs[i:i + batch_size]
+                columns = JSONSource.project_paths(group, fields) \
+                    if fields else []
+                yield Chunk(fields, tuple(columns), len(group),
+                            whole=group if whole else None)
+            return
+        if not fields and not whole:
+            # pure row-count service needs no pinned values at all
+            self.stats.cache_sources.add(source)
+            self.stats.cache_rows += n
+            yield Chunk((), (), n)
+            return
+        raise GenerationError(
+            f"generation {snap.generation} of {source!r} is no longer "
+            f"materializable: no pinned cache entry covers fields {fields!r}")
+
     # -- memory sources -----------------------------------------------------------
 
     def memory(self, source: str):
@@ -575,7 +749,7 @@ class QueryRuntime:
         A LIMIT-truncated execution saw only a prefix of the source, so
         nothing is admitted (a partial column must never pose as complete).
         """
-        if self.truncated:
+        if self.truncated or source in self.as_of:
             return
         with self.catalog.source_lock(source):
             if not self._generation_current(source):
@@ -584,7 +758,7 @@ class QueryRuntime:
             self.cache.put_columns(source, fields, columns)
 
     def admit_elements(self, source: str, layout: str, elements: list) -> None:
-        if self.truncated:
+        if self.truncated or source in self.as_of:
             return
         with self.catalog.source_lock(source):
             if not self._generation_current(source):
@@ -604,6 +778,10 @@ class QueryRuntime:
         row-range chunk view of the (memoised, shared) lookup instead —
         morsel workers each slice their rows off one cache entry.
         """
+        if source in self.as_of:
+            raise GenerationError(
+                f"live cache entries cannot serve {source!r} AS OF a pinned "
+                "generation")
         if split is None:
             data, _layout = self.cache_data(source, fields, whole)
         else:
@@ -653,6 +831,10 @@ class QueryRuntime:
         to the plugin's warm navigated path (late materialization); chunks
         then arrive as dense predicate survivors with ``Chunk.scanned``
         carrying the physical row count for accounting."""
+        if source in self.as_of:
+            yield from self._pinned_csv_chunks(source, tuple(fields),
+                                               batch_size, whole, split)
+            return
         entry = self.catalog.get(source)
         plugin = entry.plugin
         self.touch_generation(source)
@@ -749,6 +931,10 @@ class QueryRuntime:
         ``index_fields`` requests value-index byproduct emission over those
         dotted paths (JSON rows are semi-index span numbers, always global,
         so morsel partials never need shifting)."""
+        if source in self.as_of:
+            yield from self._pinned_json_chunks(source, tuple(paths),
+                                                batch_size, whole, split)
+            return
         entry = self.catalog.get(source)
         plugin = entry.plugin
         self.touch_generation(source)
@@ -808,6 +994,17 @@ class QueryRuntime:
         Degrades to the plain chunked scan when the registry went stale
         between planning and execution or the probe type is unservable.
         """
+        if source in self.as_of:
+            # pinned scans never ride a live index (it describes the live
+            # generation) and never emit byproducts
+            fmt = self.catalog.get(source).format
+            if fmt == "csv":
+                yield from self.csv_chunks(source, fields,
+                                           batch_size=batch_size, whole=whole)
+            else:
+                yield from self.json_chunks(source, fields,
+                                            batch_size=batch_size, whole=whole)
+            return
         entry = self.catalog.get(source)
         plugin = entry.plugin
         fmt = entry.format
@@ -918,6 +1115,10 @@ class QueryRuntime:
         split=None,
     ):
         """Batched binary-array scan (fused-struct batch decode)."""
+        if source in self.as_of:
+            raise GenerationError(
+                f"source {source!r} has format 'array', which does not "
+                "support AS OF generation pinning")
         entry = self.catalog.get(source)
         self.touch_generation(source)
         ssink = self._new_stats_sink(source, tuple(fields), split)
@@ -969,6 +1170,10 @@ class QueryRuntime:
     # -- JSON -----------------------------------------------------------
 
     def json_objects(self, source: str):
+        if source in self.as_of:
+            for chunk in self.json_chunks(source, (), whole=True):
+                yield from chunk.iter_whole()
+            return
         entry = self.catalog.get(source)
         plugin = entry.plugin
         self.stats.raw_sources.add(source)
@@ -980,6 +1185,10 @@ class QueryRuntime:
         self.stats.raw_rows += count
 
     def json_spans(self, source: str):
+        if source in self.as_of:
+            raise GenerationError(
+                f"positional span access cannot serve {source!r} AS OF a "
+                "pinned generation")
         plugin = self.catalog.get(source).plugin
         self.stats.raw_sources.add(source)
         return plugin.scan_positions()
@@ -1071,6 +1280,10 @@ class QueryRuntime:
             yield from entry.data
             return
         if fmt == "csv":
+            if source in self.as_of:
+                for chunk in self.csv_chunks(source, (), whole=True):
+                    yield from chunk.iter_whole()
+                return
             plugin = entry.plugin
             columns = plugin.columns
             self.stats.raw_sources.add(source)
@@ -1085,6 +1298,10 @@ class QueryRuntime:
         if fmt == "json":
             yield from self.json_objects(source)
             return
+        if source in self.as_of:
+            raise GenerationError(
+                f"source {source!r} has format {fmt!r}, which does not "
+                "support AS OF generation pinning")
         if fmt == "array":
             plugin = entry.plugin
             names = list(plugin.dim_names) + [n for n, _t in plugin.header.fields]

@@ -180,6 +180,7 @@ class Planner:
         stats=None,
         calibration=None,
         adaptive: bool = False,
+        as_of: dict | None = None,
     ):
         self.catalog = catalog
         self.cache = cache if cache is not None else DataCache()
@@ -217,6 +218,11 @@ class Planner:
         #: selectivities, and DP join-order enumeration replace the
         #: syntax-order greedy heuristics
         self.adaptive = adaptive
+        #: time travel: source → pinned GenerationSnapshot. Pinned scans are
+        #: forced cold + serial with population, selection pushdown and
+        #: index access all off — live auxiliaries describe the live
+        #: generation, and a pinned query must neither use nor grow them
+        self.as_of = as_of or {}
 
     # -- public -----------------------------------------------------------
 
@@ -373,7 +379,7 @@ class Planner:
         return out
 
     def _scan_parallelism(self, scan: PhysScan) -> int:
-        if scan.source in self.serial_sources:
+        if scan.source in self.serial_sources or scan.source in self.as_of:
             return 1
         if scan.access == "cache":
             cost_fmt = "cache"
@@ -638,7 +644,19 @@ class Planner:
                 # exact cardinality, collected as a byproduct of an earlier
                 # scan — supersedes the bytes-per-row guess
                 rows = max(1, tstats.row_count)
-        if entry.data is not None or fmt == "memory":
+        pinned = entry.name in self.as_of
+        if pinned:
+            snap = self.as_of[entry.name]
+            u.access = "cold"
+            if snap.row_count is not None:
+                rows = max(1, snap.row_count)
+            mode = "live-prefix re-scan" if snap.live \
+                else "pinned cache fallback"
+            decisions.notes.append(
+                f"{u.var}: AS OF generation {snap.generation} "
+                f"({mode}; cold serial, no byproducts)"
+            )
+        elif entry.data is not None or fmt == "memory":
             u.access = "memory"
         elif fmt == "dbms":
             u.access = "warm"  # loaded store; cost-modelled as const_cost
@@ -652,7 +670,7 @@ class Planner:
         else:
             u.access = "cold"
 
-        if u.access in ("cold", "warm") and self.enable_cache:
+        if u.access in ("cold", "warm") and self.enable_cache and not pinned:
             self._choose_population(u, entry)
 
         batched = fmt in ("csv", "json", "array", "xls") and u.access in ("cold", "warm")
@@ -680,7 +698,7 @@ class Planner:
         u.est_cost = est.total_cost
 
         if fmt in ("csv", "json") and u.access in ("cold", "warm") \
-                and entry.name not in self.cleaning_sources:
+                and entry.name not in self.cleaning_sources and not pinned:
             self._choose_index_access(u, entry, fmt, rows, decisions)
 
         decisions.access[u.var] = u.access
@@ -785,6 +803,8 @@ class Planner:
                 vec_filter=self.vector_filters,
                 est_rows=u.est_rows, est_cost=u.est_cost,
             )
+            if u.node.source in self.as_of:
+                scan.as_of = self.as_of[u.node.source].generation
             if scan.pred is not None:
                 if scan.sel_push:
                     decisions.filters[u.var] = "vec+push"

@@ -164,6 +164,10 @@ class PhysScan(PhysNode):
     #: units) — informational, surfaced by EXPLAIN; 0.0 = not estimated
     est_rows: float = 0.0
     est_cost: float = 0.0
+    #: time travel: generation this scan is pinned to (``AS OF GENERATION``),
+    #: or None for the live file. Pinned scans run cold+serial with no
+    #: byproduct emission or cache population.
+    as_of: int | None = None
 
     def bound_vars(self):
         return (self.var,)
@@ -393,6 +397,8 @@ def explain_physical(node: PhysNode, indent: int = 0) -> str:
                 extras.append(f"index[{node.index_eq[0]}={node.index_eq[1]!r}]")
         if node.index_emit:
             extras.append(f"index-emit=[{', '.join(node.index_emit)}]")
+        if node.as_of is not None:
+            extras.append(f"generation={node.as_of}")
         if node.est_rows or node.est_cost:
             extras.append(
                 f"est_rows=~{node.est_rows:.0f} est_cost=~{node.est_cost:.0f}"

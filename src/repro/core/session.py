@@ -45,7 +45,7 @@ import weakref
 from dataclasses import dataclass
 
 from ..caching import AdmissionPolicy, DataCache
-from ..errors import ViDaError
+from ..errors import GenerationError, ViDaError
 from ..formats.jsonfmt import bson as _bson
 from ..mcc import ast as A
 from ..mcc.algebra import explain as explain_algebra
@@ -138,6 +138,7 @@ class ViDa:
         adaptive_stats: bool = True,
         context: EngineContext | None = None,
         cache_write_quota_bytes: int | None = None,
+        retain_generations: int | None = None,
     ):
         if default_engine not in ("jit", "static", "auto"):
             raise ViDaError(
@@ -157,12 +158,22 @@ class ViDa:
                 "cache_budget_bytes / admission_policy belong to the "
                 "EngineContext — configure them where the context is built"
             )
+        if context is not None and retain_generations is not None:
+            raise ViDaError(
+                "retain_generations belongs to the EngineContext — "
+                "configure it where the context is built"
+            )
         self._owns_context = context is None
         if context is None:
+            from .generations import DEFAULT_RETAIN_GENERATIONS
+
             context = EngineContext(
                 cache_budget_bytes if cache_budget_bytes is not None
                 else 256 << 20,
                 admission_policy,
+                retain_generations=retain_generations
+                if retain_generations is not None
+                else DEFAULT_RETAIN_GENERATIONS,
             )
         context.attach()
         #: the shared :class:`~repro.core.engine.EngineContext` this session
@@ -294,13 +305,17 @@ class ViDa:
         engine: str | None = None,
         output: str = "python",
         limit: int | None = None,
+        as_of: dict[str, int] | None = None,
     ) -> QueryResult:
         """Run a comprehension-syntax query (or a pre-built AST).
 
         ``engine`` overrides the session default ('jit' or 'static');
         ``output`` shapes collection results: python | records | tuples |
         columns | json | bson. ``limit`` truncates a collection result
-        *before* shaping, so every output shape honours it.
+        *before* shaping, so every output shape honours it. ``as_of``
+        (source name → generation token) time-travels the named sources
+        to a retained generation; an unknown or evicted generation raises
+        :class:`~repro.errors.GenerationError`.
         """
         if self._closed:
             raise ViDaError(
@@ -342,84 +357,112 @@ class ViDa:
                         self._prepared.pop(next(iter(self._prepared)))
                     self._prepared[text_or_expr] = prepared
 
-        # freshness: in-place updates drop auxiliary structures + cache entries
+        # freshness: a mutated file either delta-extends its auxiliary
+        # structures (append classification) or drops them, snapshotting
+        # the superseded generation into its bounded history either way
         for src in referenced_sources(norm, self.catalog.names()):
-            if not self.catalog.check_freshness(src):
-                self.cache.invalidate_source(src)
-                self.indexes.invalidate_source(src)
+            self._engine.refresh_source(src)
 
-        row_limit = limit if isinstance(limit, int) and limit >= 0 else None
-        runtime = QueryRuntime(self.catalog, self.cache if self.enable_cache
-                               else DataCache(0), self.cleaning, self.devices,
-                               row_limit=row_limit,
-                               process_pool=self._worker_pool(),
-                               indexes=self.indexes if self.enable_indexes
-                               else None,
-                               engine=self._engine,
-                               table_stats=self._engine.table_stats
-                               if self.adaptive_stats else None)
+        # AS OF: resolve generation pins against the history. Pinning the
+        # live generation is the identity; anything else must be retained,
+        # and holds a refcount for the query's duration so retention
+        # cannot evict the snapshot mid-flight.
+        pins: dict[str, object] = {}
+        acquired: list[tuple] = []
+        if as_of:
+            for src, gen in as_of.items():
+                entry = self.catalog.get(src)
+                if gen == entry.generation:
+                    continue
+                snap = entry.history.acquire(gen)
+                if snap is None:
+                    retained = ", ".join(
+                        str(g) for g in entry.history.generations()) or "none"
+                    raise GenerationError(
+                        f"source {src!r} has no retained generation {gen} "
+                        f"(live: {entry.generation}; retained: {retained})"
+                    )
+                pins[src] = snap
+                acquired.append((entry.history, snap))
+        try:
+            row_limit = limit if isinstance(limit, int) and limit >= 0 else None
+            runtime = QueryRuntime(self.catalog, self.cache if self.enable_cache
+                                   else DataCache(0), self.cleaning, self.devices,
+                                   row_limit=row_limit,
+                                   process_pool=self._worker_pool(),
+                                   indexes=self.indexes if self.enable_indexes
+                                   else None,
+                                   engine=self._engine,
+                                   table_stats=self._engine.table_stats
+                                   if self.adaptive_stats else None,
+                                   as_of=pins)
 
-        if not isinstance(norm, A.Comprehension):
-            # Merge-of-comprehensions / constant expressions: interpret.
-            if engine == "auto":
-                stats.engine = engine = "static"
+            if not isinstance(norm, A.Comprehension):
+                # Merge-of-comprehensions / constant expressions: interpret.
+                if engine == "auto":
+                    stats.engine = engine = "static"
+                t0 = time.perf_counter()
+                value = eval_expr(norm, {}, runtime)
+                stats.execute_ms = (time.perf_counter() - t0) * 1e3
+                stats.total_ms = (time.perf_counter() - t_start) * 1e3
+                self._fill_exec_stats(stats, runtime)
+                self.query_log.append(stats)
+                value = self._apply_limit(value, limit)
+                return QueryResult(self._shape_output(value, output), stats)
+
             t0 = time.perf_counter()
-            value = eval_expr(norm, {}, runtime)
+            epoch = self._plan_epoch()
+            # a pinned query never reuses or feeds the prepared-plan cache:
+            # its plan is specialised to the snapshot, not the live source
+            if prepared is not None and not pins and prepared[3] is not None \
+                    and prepared[2] == epoch:
+                plan, decisions = prepared[3], prepared[4].clone()
+                stats.plan_cached = True
+            else:
+                algebra = translate(norm, self.catalog.names())
+                plan, decisions = self._planner(pins).plan(algebra)
+                if prepared is not None and not pins:
+                    with self._prepared_lock:
+                        prepared[2], prepared[3] = epoch, plan
+                        prepared[4] = decisions.clone()
+            stats.plan_ms = (time.perf_counter() - t0) * 1e3
+            stats.est_cost_units = decisions.total_est_cost
+
+            if engine == "auto":
+                stats.engine = engine = self._resolve_engine(plan, decisions)
+
+            code = ""
+            t0 = time.perf_counter()
+            if engine == "jit":
+                compiled = self._jit.compile(plan,
+                                             vector_filters=self.vector_filters)
+                code = compiled.source
+                stats.codegen_ms = (time.perf_counter() - t0) * 1e3
+                t0 = time.perf_counter()
+                value = compiled(runtime)
+            else:
+                value = self._static.execute(plan, runtime)
             stats.execute_ms = (time.perf_counter() - t0) * 1e3
             stats.total_ms = (time.perf_counter() - t_start) * 1e3
             self._fill_exec_stats(stats, runtime)
+            if self.adaptive_stats:
+                # convert the estimate to ms *before* folding this query's
+                # timings in, so est vs. measured reflects the model that
+                # actually planned the query
+                stats.est_ms = self._engine.calibration.estimated_ms(
+                    decisions.total_est_cost)
+                if runtime.scan_timings:
+                    self._engine.calibration.observe(runtime.scan_timings)
             self.query_log.append(stats)
+
             value = self._apply_limit(value, limit)
-            return QueryResult(self._shape_output(value, output), stats)
-
-        t0 = time.perf_counter()
-        epoch = self._plan_epoch()
-        if prepared is not None and prepared[3] is not None \
-                and prepared[2] == epoch:
-            plan, decisions = prepared[3], prepared[4].clone()
-            stats.plan_cached = True
-        else:
-            algebra = translate(norm, self.catalog.names())
-            plan, decisions = self._planner().plan(algebra)
-            if prepared is not None:
-                with self._prepared_lock:
-                    prepared[2], prepared[3] = epoch, plan
-                    prepared[4] = decisions.clone()
-        stats.plan_ms = (time.perf_counter() - t0) * 1e3
-        stats.est_cost_units = decisions.total_est_cost
-
-        if engine == "auto":
-            stats.engine = engine = self._resolve_engine(plan, decisions)
-
-        code = ""
-        t0 = time.perf_counter()
-        if engine == "jit":
-            compiled = self._jit.compile(plan,
-                                         vector_filters=self.vector_filters)
-            code = compiled.source
-            stats.codegen_ms = (time.perf_counter() - t0) * 1e3
-            t0 = time.perf_counter()
-            value = compiled(runtime)
-        else:
-            value = self._static.execute(plan, runtime)
-        stats.execute_ms = (time.perf_counter() - t0) * 1e3
-        stats.total_ms = (time.perf_counter() - t_start) * 1e3
-        self._fill_exec_stats(stats, runtime)
-        if self.adaptive_stats:
-            # convert the estimate to ms *before* folding this query's
-            # timings in, so est vs. measured reflects the model that
-            # actually planned the query
-            stats.est_ms = self._engine.calibration.estimated_ms(
-                decisions.total_est_cost)
-            if runtime.scan_timings:
-                self._engine.calibration.observe(runtime.scan_timings)
-        self.query_log.append(stats)
-
-        value = self._apply_limit(value, limit)
-        return QueryResult(
-            self._shape_output(value, output), stats, decisions,
-            explain_physical(plan), code,
-        )
+            return QueryResult(
+                self._shape_output(value, output), stats, decisions,
+                explain_physical(plan), code,
+            )
+        finally:
+            for history, snap in acquired:
+                history.release(snap)
 
     def explain(self, text_or_expr) -> str:
         """Logical + physical EXPLAIN of a query, without running it."""
@@ -447,31 +490,61 @@ class ViDa:
         return self.query(expr, engine=engine, output=output)
 
     def sql(self, statement: str, engine: str | None = None,
-            output: str = "python") -> QueryResult:
+            output: str = "python",
+            as_of: dict[str, int] | None = None) -> QueryResult:
         """Run a SQL query by translation to the comprehension calculus.
 
         LIMIT is applied to the raw result rows *before* output shaping, so
-        columnar/JSON/BSON outputs honour it too.
+        columnar/JSON/BSON outputs honour it too. Generation pins come from
+        ``FROM t AS OF GENERATION k`` clauses and/or the ``as_of`` mapping
+        (the NDJSON server's per-query field); an in-query clause wins over
+        the mapping for the same source.
         """
         from ..languages.sql import parse_sql, translate_sql
 
         stmt = parse_sql(statement)
         expr = translate_sql(stmt, self.catalog)
-        return self.query(expr, engine=engine, output=output, limit=stmt.limit)
+        pins = dict(as_of) if as_of else {}
+        for ref in (stmt.table, *(j.table for j in stmt.joins)):
+            if ref.as_of is not None:
+                pins[ref.name] = ref.as_of
+        return self.query(expr, engine=engine, output=output,
+                          limit=stmt.limit, as_of=pins or None)
+
+    def generations(self, source: str) -> dict:
+        """Time-travel introspection: the live generation token of
+        ``source`` plus every retained historical generation (oldest
+        first) with its classification state."""
+        entry = self.catalog.get(source)
+        retained = []
+        for gen in entry.history.generations():
+            snap = entry.history.get(gen)
+            if snap is None:
+                continue
+            retained.append({
+                "generation": snap.generation,
+                "byte_size": snap.byte_size,
+                "row_count": snap.row_count,
+                "live_prefix": snap.live,
+                "pinned": snap.pinned is not None,
+            })
+        return {"live": entry.generation, "retained": retained}
 
     # -- internals -----------------------------------------------------------
 
-    def _planner(self) -> Planner:
+    def _planner(self, pinned: dict[str, object] | None = None) -> Planner:
         """A planner seeing this session's configuration and cache state.
 
         Device-charged sources stay serial (simulated devices account
         per-access state the worker threads would race on); a wildcard
-        device pins the whole session serial.
+        device pins the whole session serial. ``pinned`` maps sources the
+        query time-travels to their generation snapshots.
         """
         parallelism = self.parallelism
         if "*" in self.devices or self.backend == "serial":
             parallelism = 1
         return Planner(self.catalog, self.cache, enable_cache=self.enable_cache,
+                       as_of=pinned,
                        enable_posmap=self.enable_posmap,
                        batch_size=self.batch_size,
                        parallelism=parallelism,

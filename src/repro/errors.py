@@ -64,6 +64,13 @@ class CleaningError(DataFormatError):
         self.field = field
 
 
+class GenerationError(ViDaError):
+    """Raised when an ``AS OF GENERATION`` pin cannot be served: the
+    generation was never observed, fell out of the retention window, or its
+    data is no longer materializable (the file was rewritten and no pinned
+    cache entry covers the requested fields)."""
+
+
 class StorageError(ViDaError):
     """Raised by the storage substrate (pages, buffer pool, devices)."""
 

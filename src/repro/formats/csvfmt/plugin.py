@@ -853,3 +853,58 @@ class CSVSource:
             self.posmap = PositionalMap(
                 len(self.columns), self.options.delimiter, self.posmap.stride
             )
+
+    def extend_for_append(
+        self,
+        old_size: int,
+        new_size: int,
+        fields: Sequence[str],
+        batch_size: int = 4096,
+        device=None,
+    ) -> tuple[dict[str, list], int, int]:
+        """Delta refresh for an append-classified mutation: O(delta) rescan.
+
+        Re-reads only the tail bytes ``[old_size, new_size)``, records the
+        appended rows onto a :meth:`~PositionalMap.clone_for_extension` of
+        the complete map (same anchor set, so every existing offset stays
+        valid), converts ``fields`` for just those rows, and atomically
+        swaps the extended map in. The superseded map object is never
+        mutated — its identity remains the adopt-or-discard guard for
+        in-flight scans, and pinned generation snapshots keep navigating
+        its prefix.
+
+        Returns ``(tail_columns, tail_rows, bytes_read)``. Raises
+        :class:`DataFormatError` if the map is incomplete (nothing to
+        extend — the caller falls back to a cold rebuild); a conversion
+        error on dirty tail rows propagates the same way, leaving the
+        live map untouched.
+        """
+        with self._aux_lock:
+            old_map = self.posmap
+        if not old_map.complete:
+            raise DataFormatError(
+                f"{self.path}: delta refresh needs a complete positional map"
+            )
+        newmap = old_map.clone_for_extension()
+        anchors = newmap.mapped_columns
+        old_rows = len(newmap.row_offsets)
+        field_list = list(fields)
+        cols = self.field_indexes(field_list)
+        delim = self.options.delimiter
+        tail_columns: dict[str, list] = {f: [] for f in field_list}
+        tail_rows = 0
+        for _start, lines in self.iter_line_batches(
+            batch_size, device=device, record_anchors=anchors,
+            byte_range=(old_size, new_size), start_row=old_rows,
+            record_map=newmap,
+        ):
+            if cols:
+                cells_rows = [line.split(delim) for line in lines]
+                converted = self.convert_batch(cols, cells_rows)
+                for f, values in zip(field_list, converted):
+                    tail_columns[f].extend(values)
+            tail_rows += len(lines)
+        newmap.finish_population()
+        with self._aux_lock:
+            self.posmap = newmap
+        return tail_columns, tail_rows, new_size - old_size

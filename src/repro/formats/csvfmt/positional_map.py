@@ -94,6 +94,20 @@ class PositionalMap:
     def finish_population(self) -> None:
         self.complete = True
 
+    def clone_for_extension(self) -> "PositionalMap":
+        """A fresh, *incomplete* map seeded with this map's offsets.
+
+        The delta-refresh path records an appended tail onto the clone and
+        swaps it in whole — never mutating this map, whose identity is the
+        adopt-or-discard guard for in-flight scans (and whose offsets a
+        pinned generation may still be navigating). Cheap: C-level list
+        copies, no re-read of mapped bytes.
+        """
+        pm = PositionalMap(self.ncols, self.delimiter, self.stride)
+        pm.row_offsets = list(self.row_offsets)
+        pm._col_offsets = {c: list(v) for c, v in self._col_offsets.items()}
+        return pm
+
     def adopt_partials(self, partials: list["PositionalMap"]) -> None:
         """Merge per-morsel partial maps, in morsel order, into this map.
 

@@ -89,6 +89,51 @@ class JSONSource:
         self._semi_index = None
         self._schema = None
 
+    def extend_for_append(
+        self, old_size: int, new_size: int, device=None
+    ) -> tuple[list, int, int]:
+        """Delta refresh for an append-classified mutation: O(delta) rescan.
+
+        Reads only the tail bytes ``[old_size, new_size)``, boundary-scans
+        them into tail spans (the appended region must be self-contained
+        JSON — true for NDJSON appends, since the old content was balanced
+        at depth 0), parses the appended objects once, and atomically swaps
+        in an extended semi-index. The superseded index object is never
+        mutated: in-flight scans and pinned generation snapshots keep
+        reading its prefix spans.
+
+        Returns ``(tail_objects, start_row, bytes_read)`` where
+        ``start_row`` is the object count before the append. Raises
+        :class:`DataFormatError` when no semi-index exists or the tail is
+        not self-contained JSON — callers fall back to full invalidation,
+        leaving the live index untouched.
+        """
+        with self._aux_lock:
+            old_index = self._semi_index
+        if old_index is None:
+            raise DataFormatError(
+                f"{self.path}: delta refresh needs an existing semi-index"
+            )
+        with RawFile(self.path, device=device) as raw:
+            tail = raw.read_at(old_size, new_size - old_size)
+        tail_index = JSONSemiIndex.build(tail)  # DataFormatError on truncation
+        encoding = self.options.encoding
+        try:
+            tail_objects = [
+                json.loads(tail[s.start:s.end].decode(encoding))
+                for s in tail_index.spans
+            ]
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DataFormatError(
+                f"{self.path}: bad JSON object in appended tail: {exc}"
+            ) from exc
+        shifted = [ObjectSpan(s.start + old_size, s.end + old_size)
+                   for s in tail_index.spans]
+        new_index = JSONSemiIndex(list(old_index.spans) + shifted)
+        with self._aux_lock:
+            self._semi_index = new_index
+        return tail_objects, len(old_index.spans), new_size - old_size
+
     # -- schema ----------------------------------------------------------------
 
     def schema(self) -> T.CollectionType:

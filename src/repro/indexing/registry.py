@@ -87,6 +87,38 @@ class IndexRegistry:
                 base += part.rows_seen
             return len(grown)
 
+    def extend_source(
+        self,
+        source: str,
+        old_generation: int,
+        new_generation: int,
+        start_row: int,
+        tail_columns: dict[str, list],
+    ) -> int:
+        """Delta refresh: re-key ``source``'s indexes from ``old_generation``
+        to ``new_generation`` and extend each field with the appended tail
+        run starting at ``start_row``.
+
+        Appends leave every existing row number valid (the old content is a
+        byte-prefix of the new file), so — unlike :meth:`adopt`'s
+        generation-mismatch eviction — the built indexes carry over whole.
+        Fields with no tail values keep their coverage as-is; the uncovered
+        tail is served by the existing hole-scan fallback (which re-emits
+        and converges coverage). Returns the number of fields extended.
+        """
+        with self._mutex:
+            hit = self._sources.get(source)
+            if hit is None or hit[0] != old_generation:
+                return 0
+            by_field = hit[1]
+            grown = 0
+            for field, idx in by_field.items():
+                values = tail_columns.get(field)
+                if values and idx.add_run(start_row, values):
+                    grown += 1
+            self._sources[source] = (new_generation, by_field)
+            return grown
+
     def invalidate_source(self, source: str) -> None:
         with self._mutex:
             self._sources.pop(source, None)

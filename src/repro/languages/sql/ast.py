@@ -66,6 +66,9 @@ class SelectItem:
 class TableRef:
     name: str
     alias: str
+    #: time travel: pin the scan to a retained file generation
+    #: (``FROM t AS OF GENERATION k``); None queries the live file
+    as_of: int | None = None
 
 
 @dataclass(frozen=True)

@@ -159,11 +159,34 @@ class SQLParser:
     def table_ref(self) -> S.TableRef:
         name = self.expect("IDENT")[1]
         alias = name
-        if self.match("KW", "as"):
-            alias = self.expect("IDENT")[1]
-        elif self.peek()[0] == "IDENT":
-            alias = self.advance()[1]
-        return S.TableRef(name, alias)
+        as_of = self._as_of_generation()
+        if as_of is None:
+            if self.match("KW", "as"):
+                alias = self.expect("IDENT")[1]
+            elif self.peek()[0] == "IDENT":
+                alias = self.advance()[1]
+            as_of = self._as_of_generation()
+        return S.TableRef(name, alias, as_of)
+
+    def _as_of_generation(self) -> int | None:
+        """Match ``AS OF GENERATION <int>`` (time travel), else None.
+
+        ``of`` and ``generation`` are *not* keywords — columns named
+        ``generation`` keep working — so the whole four-token pattern must
+        be present before anything is consumed; ``t AS of`` with no
+        ``GENERATION <int>`` still reads as aliasing ``t`` to ``of``.
+        """
+        if (self.peek() == ("KW", "as")
+                and self.peek(1)[0] == "IDENT"
+                and self.peek(1)[1].lower() == "of"
+                and self.peek(2)[0] == "IDENT"
+                and self.peek(2)[1].lower() == "generation"
+                and self.peek(3)[0] == "INT"):
+            self.advance()
+            self.advance()
+            self.advance()
+            return int(self.advance()[1])
+        return None
 
     # -- expressions (precedence climbing) ------------------------------------
 

@@ -8,6 +8,10 @@ Requests::
 
     {"id": 1, "sql": "SELECT ..."}                 -- SQL query
     {"id": 2, "q": "for { ... } yield ..."}        -- comprehension query
+    {"id": 2, "q": "...", "as_of": {"T": 3}}       -- time travel: pin named
+                                                      sources to retained
+                                                      file generations
+    {"id": 2, "sql": "SELECT ... FROM t AS OF GENERATION 3"}  -- same, in SQL
     {"id": 3, "op": "explain", "sql"|"q": "..."}   -- plan without running
     {"id": 4, "op": "register", "name": "T",
      "path": "/data/t.csv", "format": "csv"}       -- csv | json | auto
@@ -19,7 +23,8 @@ Responses::
     {"id": 3, "ok": true, "text": "== logical ==..."}
     {"id": 5, "ok": true, "engine": {...}, "tenant": {...}}
     {"id": 1, "ok": false,
-     "error": {"type": "quota" | "parse" | "protocol" | "execution",
+     "error": {"type": "quota" | "parse" | "protocol" | "generation"
+               | "execution",
                "message": "..."}}
 
 Tenancy model: one connection = one tenant = one
@@ -43,7 +48,7 @@ from dataclasses import dataclass, field
 
 from ..core.engine import EngineContext
 from ..core.session import ViDa
-from ..errors import ParseError, TypeCheckError, ViDaError
+from ..errors import GenerationError, ParseError, TypeCheckError, ViDaError
 
 #: protocol guard: a request line longer than this is a protocol error
 MAX_LINE_BYTES = 4 << 20
@@ -262,6 +267,11 @@ class ViDaServer:
             raise
         except (ParseError, TypeCheckError) as exc:
             payload = _error("parse", str(exc))
+        except GenerationError as exc:
+            # before ViDaError: an unknown/evicted AS OF generation gets its
+            # own typed envelope so clients can distinguish it from runtime
+            # failures
+            payload = _error("generation", str(exc))
         except ViDaError as exc:
             payload = _error("execution", str(exc))
         except Exception as exc:  # never kill the connection on one query
@@ -296,6 +306,16 @@ class ViDaServer:
         stmt = self._statement(request)
         if stmt is None:
             return _error("protocol", "query needs a string 'sql' or 'q'")
+        as_of = request.get("as_of")
+        if as_of is not None and not (
+            isinstance(as_of, dict)
+            and all(isinstance(k, str)
+                    and isinstance(v, int) and not isinstance(v, bool)
+                    for k, v in as_of.items())
+        ):
+            return _error("protocol",
+                          "'as_of' must map source names to integer "
+                          "generation tokens")
         if not tenant.admit():
             self.stats.quota_rejections += 1
             return _error(
@@ -309,8 +329,8 @@ class ViDaServer:
 
         def run():
             if kind == "sql":
-                return session.sql(text)
-            return session.query(text)
+                return session.sql(text, as_of=as_of)
+            return session.query(text, as_of=as_of)
 
         try:
             result = await loop.run_in_executor(self._executor, run)

@@ -97,6 +97,41 @@ class StatsRegistry:
             return (False, frozenset())
         return (stats.row_count is not None, frozenset(stats.columns))
 
+    def extend_source(
+        self,
+        source: str,
+        old_generation: int,
+        new_generation: int,
+        tail_rows: int,
+        tail_columns: dict[str, list],
+    ) -> bool:
+        """Delta refresh: re-key ``source``'s stats to ``new_generation``,
+        fold the appended tail's values in, and grow ``row_count``.
+
+        Column summaries are order-independent, so observing just the tail
+        batch leaves the stats bit-identical to a cold rebuild over the
+        whole grown file. A known column with **no** tail values would go
+        stale (its min/max/NDV describe only the prefix), so it is dropped
+        instead — callers avoid that by converting every known stats
+        column during the tail scan. Returns True if the entry carried over.
+        """
+        with self._lock:
+            entry = self._sources.get(source)
+            if entry is None or entry[0] != old_generation:
+                return False
+            _, stats = entry
+            if stats.row_count is not None:
+                stats.row_count += tail_rows
+            for name in list(stats.columns):
+                values = tail_columns.get(name)
+                if values is None:
+                    del stats.columns[name]
+                else:
+                    stats.columns[name].observe_batch(values)
+            self._sources[source] = (new_generation, stats)
+            self.version += 1
+            return True
+
     def invalidate_source(self, source: str) -> None:
         with self._lock:
             if self._sources.pop(source, None) is not None:

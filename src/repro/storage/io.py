@@ -9,10 +9,15 @@ raw accesses — we measure that directly). Optionally a simulated
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 
 from .device import StorageDevice
+
+#: bytes of file head/tail folded into a :class:`FileFingerprint` content
+#: hash — bounded, so fingerprinting a multi-GB file stays O(1)
+FINGERPRINT_REGION = 64 << 10
 
 
 @dataclass
@@ -29,27 +34,88 @@ class IOStats:
         self.seeks += other.seeks
 
 
+def _region_hash(fh, offset: int, nbytes: int) -> str:
+    fh.seek(offset)
+    return hashlib.blake2b(fh.read(nbytes), digest_size=16).hexdigest()
+
+
 @dataclass(frozen=True)
 class FileFingerprint:
     """Identity of a file's content at registration time.
 
-    ViDa handles in-place updates by dropping auxiliary structures whose
-    underlying file changed (paper Section 2.1); a fingerprint mismatch is
-    the trigger.
+    ViDa handles in-place updates by dropping (or delta-extending)
+    auxiliary structures whose underlying file changed (paper Section
+    2.1); a fingerprint mismatch is the trigger. ``size``/``mtime_ns``
+    alone miss same-size rewrites under a frozen mtime (coarse-mtime
+    filesystems, fast tests), so the fingerprint also folds in bounded
+    blake2b hashes of the file's head and tail (``FINGERPRINT_REGION``
+    bytes each) and whether the file ends in a newline — the latter is
+    what append classification needs to know that the last record was
+    complete when the fingerprint was taken.
     """
 
     size: int
     mtime_ns: int
+    head_hash: str = ""
+    tail_hash: str = ""
+    ends_nl: bool = False
 
     @staticmethod
     def of(path: str | os.PathLike) -> "FileFingerprint":
         st = os.stat(path)
-        return FileFingerprint(st.st_size, st.st_mtime_ns)
+        size = st.st_size
+        with open(path, "rb") as fh:
+            head = _region_hash(fh, 0, min(size, FINGERPRINT_REGION))
+            tail_lo = max(0, size - FINGERPRINT_REGION)
+            tail = _region_hash(fh, tail_lo, size - tail_lo)
+            ends_nl = False
+            if size:
+                fh.seek(size - 1)
+                ends_nl = fh.read(1) == b"\n"
+        return FileFingerprint(size, st.st_mtime_ns, head, tail, ends_nl)
+
+    def stat_matches(self, path: str | os.PathLike) -> bool:
+        """Cheap size+mtime comparison (no content read) — the mid-scan
+        adoption gate uses it to drop partials of a file that visibly
+        changed while the scan ran."""
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            return False
+        return st.st_size == self.size and st.st_mtime_ns == self.mtime_ns
 
     def matches(self, path: str | os.PathLike) -> bool:
+        """Full freshness check: a stat mismatch is a definite change; a
+        stat *match* is confirmed against the head/tail content hashes so
+        an in-place rewrite under a frozen mtime is still caught."""
         try:
+            st = os.stat(path)
+            if st.st_size != self.size or st.st_mtime_ns != self.mtime_ns:
+                return False
             return FileFingerprint.of(path) == self
         except FileNotFoundError:
+            return False
+
+    def is_prefix_of(self, path: str | os.PathLike) -> bool:
+        """True when this fingerprint's content survives as a byte-prefix
+        of the (larger) file now at ``path`` — the append-classification
+        rule. Verified by re-hashing the regions this fingerprint hashed,
+        over the file's *current* bytes at the old offsets."""
+        try:
+            st = os.stat(path)
+        except FileNotFoundError:
+            return False
+        if st.st_size <= self.size:
+            return False
+        try:
+            with open(path, "rb") as fh:
+                head = _region_hash(fh, 0, min(self.size, FINGERPRINT_REGION))
+                if head != self.head_hash:
+                    return False
+                tail_lo = max(0, self.size - FINGERPRINT_REGION)
+                return _region_hash(fh, tail_lo, self.size - tail_lo) \
+                    == self.tail_hash
+        except OSError:
             return False
 
 

@@ -1,0 +1,193 @@
+"""Time travel over the wire: per-query ``as_of`` pins and SQL AS OF.
+
+Two tenants share one EngineContext; one pins a retained generation and
+keeps getting the frozen answer while the other rides the live file as it
+grows. Unknown generations surface as a typed ``generation`` error envelope,
+malformed pins as ``protocol``, and quotas apply to pinned queries too.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import EngineContext, ViDa
+from repro.server import TenantQuota, ViDaServer
+
+ROWS = 2000
+SUM_Q = "for { t <- T } yield sum t.v"
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "t.csv"
+    with open(path, "w") as fh:
+        fh.write("id,v\n")
+        for i in range(ROWS):
+            fh.write(f"{i},{i * 3}\n")
+    return str(path)
+
+
+def append_rows(csv_path, start, count):
+    with open(csv_path, "a") as fh:
+        for i in range(start, start + count):
+            fh.write(f"{i},{i * 3}\n")
+
+
+def file_sum(csv_path):
+    with open(csv_path) as fh:
+        next(fh)
+        return sum(int(line.split(",")[1]) for line in fh)
+
+
+async def send(writer, payload: dict) -> None:
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+
+
+async def recv(reader) -> dict:
+    line = await asyncio.wait_for(reader.readline(), timeout=30)
+    assert line, "server closed the connection unexpectedly"
+    return json.loads(line)
+
+
+async def request(host, port, payload: dict) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await send(writer, payload)
+        return await recv(reader)
+    finally:
+        writer.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(csv_path, **kwargs):
+    async def setup():
+        ctx = EngineContext()
+        bootstrap = ViDa(context=ctx)
+        bootstrap.register_csv("T", csv_path)
+        base_gen = bootstrap.generations("T")["live"]
+        bootstrap.close()
+        server = ViDaServer(context=ctx, **kwargs)
+        await server.start()
+        return server, base_gen
+
+    return setup
+
+
+# ---------------------------------------------------------------------------
+# two tenants: one pinned and frozen, one riding the live file
+# ---------------------------------------------------------------------------
+
+
+def test_pinned_tenant_frozen_while_other_sees_latest(csv_path):
+    base_sum = file_sum(csv_path)
+
+    async def scenario():
+        server, base_gen = await make_server(csv_path)()
+        host, port = server.address
+        sql_pin = ("SELECT SUM(v) AS s FROM T "
+                   f"AS OF GENERATION {base_gen}")
+        try:
+            # two persistent tenant connections over the one EngineContext
+            ra, wa = await asyncio.open_connection(host, port)
+            rb, wb = await asyncio.open_connection(host, port)
+
+            await send(wa, {"id": 1, "q": SUM_Q})
+            first = await recv(ra)
+
+            answers = []
+            for round_no in range(2):
+                append_rows(csv_path, ROWS + 50 * round_no, 50)
+                live_sum = file_sum(csv_path)
+                # fire the pinned and the live query concurrently
+                await asyncio.gather(
+                    send(wa, {"id": 10 + round_no, "q": SUM_Q,
+                              "as_of": {"T": base_gen}}),
+                    send(wb, {"id": 20 + round_no, "q": SUM_Q}),
+                )
+                pinned, latest = await asyncio.gather(recv(ra), recv(rb))
+                sql_pinned = await request(host, port, {"sql": sql_pin})
+                answers.append((pinned, latest, sql_pinned, live_sum))
+            wa.close()
+            wb.close()
+        finally:
+            await server.stop()
+        return first, answers
+
+    first, answers = run(scenario())
+    assert first["ok"] and first["rows"] == [base_sum]
+    for pinned, latest, sql_pinned, live_sum in answers:
+        assert pinned["ok"], pinned
+        assert pinned["rows"] == [base_sum]  # frozen at the base generation
+        assert latest["ok"], latest
+        assert latest["rows"] == [live_sum]  # tracks the growing file
+        assert sql_pinned["ok"], sql_pinned
+        assert sql_pinned["rows"] == [base_sum]  # SQL AS OF agrees
+    assert answers[0][3] != base_sum  # the file really did move on
+
+
+# ---------------------------------------------------------------------------
+# typed error envelopes
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_generation_is_typed_generation_error(csv_path):
+    async def scenario():
+        server, _ = await make_server(csv_path)()
+        host, port = server.address
+        try:
+            dict_pin = await request(
+                host, port, {"id": 1, "q": SUM_Q, "as_of": {"T": 99}})
+            sql_pin = await request(
+                host, port,
+                {"id": 2, "sql": "SELECT SUM(v) AS s FROM T "
+                                 "AS OF GENERATION 99"})
+            ok = await request(host, port, {"id": 3, "q": SUM_Q})
+        finally:
+            await server.stop()
+        return dict_pin, sql_pin, ok
+
+    dict_pin, sql_pin, ok = run(scenario())
+    for resp in (dict_pin, sql_pin):
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "generation"
+        assert "99" in resp["error"]["message"]
+    assert ok["ok"]  # the connection and tenant survive the error
+
+
+def test_malformed_as_of_is_protocol_error(csv_path):
+    async def scenario():
+        server, _ = await make_server(csv_path)()
+        host, port = server.address
+        try:
+            responses = []
+            for bad in ("1", [["T", 1]], {"T": "one"}, {"T": True}):
+                responses.append(await request(
+                    host, port, {"id": 1, "q": SUM_Q, "as_of": bad}))
+        finally:
+            await server.stop()
+        return responses
+
+    for resp in run(scenario()):
+        assert resp["ok"] is False
+        assert resp["error"]["type"] == "protocol"
+
+
+def test_quota_applies_to_pinned_queries(csv_path):
+    async def scenario():
+        server, _ = await make_server(
+            csv_path, quota=TenantQuota(max_inflight=0))()
+        host, port = server.address
+        try:
+            return await request(
+                host, port, {"id": 1, "q": SUM_Q, "as_of": {"T": 1}})
+        finally:
+            await server.stop()
+
+    resp = run(scenario())
+    assert resp["ok"] is False
+    assert resp["error"]["type"] == "quota"
